@@ -1,0 +1,84 @@
+"""Ablation: the October-2011 API changes the paper highlights.
+
+The paper motivates its re-measurement by API changes since Hill et al.
+(2010): the message ceiling grew from 8 KB to 64 KB and the queue-message
+expiry from 2 hours to 7 days ("Some of the earlier restrictions … such as
+expiration of a message in Queue storage after 2 hours, rendered Azure
+platform problematic for long-running real-world scientific applications").
+
+This bench quantifies both on the two era configurations:
+
+* which rungs of the 4-64 KB message ladder each era accepts;
+* how many of a long-running job's pending tasks survive a 3-hour run.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import FigureData
+from repro.storage import (
+    KB,
+    LIMITS_2010,
+    LIMITS_2012,
+    ManualClock,
+    MessageTooLargeError,
+    StorageAccountState,
+)
+from repro.storage.content import SyntheticContent
+
+
+def run_api_era_ablation():
+    sizes = [4 * KB, 8 * KB, 16 * KB, 32 * KB, 48 * KB]
+    eras = [("2010 API", LIMITS_2010), ("2012 API", LIMITS_2012)]
+
+    accepted = FigureData(
+        "Ablation A1", "Message-size ladder acceptance by API era",
+        "payload", [f"{s // KB} KB" for s in sizes])
+    survival = FigureData(
+        "Ablation A2", "Pending tasks surviving a long run (100 enqueued)",
+        "hours elapsed", [0.5, 1.0, 1.5, 2.0, 2.5, 3.0])
+
+    for era_name, limits in eras:
+        ok = []
+        for size in sizes:
+            clock = ManualClock()
+            account = StorageAccountState("ablation", clock, limits)
+            q = account.queues.create_queue("tasks")
+            try:
+                q.put_message(SyntheticContent(size, seed=1))
+                ok.append(1.0)
+            except MessageTooLargeError:
+                ok.append(0.0)
+        accepted.add(era_name, ok, unit="1=accepted")
+
+        clock = ManualClock()
+        account = StorageAccountState("ablation", clock, limits)
+        q = account.queues.create_queue("tasks")
+        for i in range(100):
+            q.put_message(f"task-{i}")
+        remaining = []
+        for _ in survival.x_values:
+            clock.advance(0.5 * 3600)
+            remaining.append(float(q.approximate_message_count()))
+        survival.add(era_name, remaining, unit="tasks")
+
+    return accepted, survival
+
+
+def test_ablation_api_era(benchmark):
+    accepted, survival = benchmark.pedantic(
+        run_api_era_ablation, rounds=1, iterations=1)
+    emit(accepted)
+    emit(survival)
+
+    # 2010 era rejects everything above its 6 KB usable payload.
+    assert accepted.get("2010 API").values == [1.0, 0.0, 0.0, 0.0, 0.0]
+    # 2012 era accepts the full ladder up to the 48 KB usable maximum.
+    assert accepted.get("2012 API").values == [1.0] * 5
+
+    # 2010 era: every pending task evaporates at the 2-hour mark.
+    v2010 = survival.get("2010 API").values
+    assert v2010[2] == 100.0 and v2010[3] == 0.0, v2010
+    # 2012 era: all tasks survive the full 3 hours (7-day TTL).
+    assert survival.get("2012 API").values == [100.0] * 6

@@ -1,0 +1,92 @@
+"""Ablation: riding through a storage outage with the paper's retry discipline.
+
+The 2012 storage SLA promised 99.9% monthly availability — outages
+happened.  The paper's framework survives them for free: workers already
+sleep-and-retry on ServerBusy, and undelivered queue messages simply wait.
+This bench injects a queue-service outage into a bag-of-tasks run and
+measures the completion-time penalty and the observed availability (via
+Storage Analytics).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit
+
+from repro.bench import FigureData
+from repro.cluster import Service
+from repro.compute import Fabric
+from repro.framework import TaskPoolApp, TaskPoolConfig
+from repro.sim import SimStorageAccount
+from repro.simkit import Environment
+from repro.storage.analytics import attach_analytics
+
+TASKS = 24
+WORK_S = 0.5
+
+
+def _handler(ctx, payload):
+    yield ctx.sleep(WORK_S)
+    return payload
+
+
+def _run(outage_seconds):
+    env = Environment()
+    account = SimStorageAccount(env, seed=31)
+    log, metrics = attach_analytics(account.cluster)
+    if outage_seconds > 0:
+        account.cluster.inject_outage(Service.QUEUE, start=5.0,
+                                      duration=outage_seconds)
+    fabric = Fabric(env, account)
+    app = TaskPoolApp(
+        TaskPoolConfig(name="ha", visibility_timeout=60.0,
+                       idle_poll_interval=0.5),
+        _handler)
+    tasks = [f"t{i}".encode() for i in range(TASKS)]
+
+    # The framework retries every queue op with the paper's 1-second
+    # back-off, so the outage only delays the run.
+    fabric.deploy(app.web_role_body(tasks, poll_interval=0.5),
+                  instances=1, name="web")
+    fabric.deploy(app.worker_role_body(), instances=4, name="workers")
+    fabric.run_all()
+    queue_metrics = metrics.service_totals("queue")
+    return env.now, queue_metrics.availability, len(app.results)
+
+
+def run_availability_ablation():
+    full = os.environ.get("AZUREBENCH_FULL") == "1"
+    outages = [0.0, 10.0, 30.0, 60.0] if full else [0.0, 10.0, 30.0]
+    fig = FigureData(
+        "Ablation H1",
+        f"Bag-of-tasks run ({TASKS} tasks, 4 workers) through a queue outage",
+        "outage seconds", outages)
+    times, avail, done = [], [], []
+    for seconds in outages:
+        t, a, n = _run(seconds)
+        times.append(t)
+        avail.append(a)
+        done.append(float(n))
+    fig.add("completion time", times, unit="s")
+    fig.add("queue availability", avail)
+    fig.add("results collected", done)
+    return fig
+
+
+def test_ablation_availability(benchmark):
+    fig = benchmark.pedantic(run_availability_ablation, rounds=1, iterations=1)
+    emit(fig)
+
+    times = fig.get("completion time").values
+    avail = fig.get("queue availability").values
+    done = fig.get("results collected").values
+
+    # No tasks are ever lost, outage or not.
+    assert all(d == TASKS for d in done), done
+    # Longer outages delay completion monotonically...
+    assert times == sorted(times)
+    assert times[-1] > times[0] + 0.8 * fig.x_values[-1]
+    # ...and show up as reduced availability in the analytics.
+    assert avail[0] == 1.0
+    assert all(a < 1.0 for a in avail[1:])

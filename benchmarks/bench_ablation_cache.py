@@ -1,0 +1,96 @@
+"""Ablation: the caching service vs direct Blob reads.
+
+The paper (II.B) mentions "a caching service to temporarily hold data in
+memory across different servers" and defers studying it to future work
+(Section V).  This bench quantifies the deferred comparison: N workers
+repeatedly read a hot 1 MB object either straight from Blob storage or
+through a cache-aside layer on the caching service.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit
+
+from repro.bench import FigureData
+from repro.sim import SimStorageAccount
+from repro.simkit import AllOf, Environment
+from repro.storage import MB, random_content
+
+HOT_OBJECT_BYTES = 1 * MB
+READS_PER_WORKER = 20
+
+
+def _reader_direct(env, account, wid):
+    blob = account.blob_client()
+    for _ in range(READS_PER_WORKER):
+        yield from blob.download_block_blob("hot", "object")
+
+
+def _reader_cached(env, account, wid):
+    blob = account.blob_client()
+    cache = account.cache_client()
+    for _ in range(READS_PER_WORKER):
+        value = yield from cache.get("hotcache", "object")
+        if value is None:  # miss -> fetch from blob, then populate
+            value = yield from blob.download_block_blob("hot", "object")
+            yield from cache.put("hotcache", "object", value, ttl=3600)
+
+
+def _run(reader, workers):
+    env = Environment()
+    account = SimStorageAccount(env, seed=17)
+
+    def setup():
+        blob = account.blob_client()
+        cache = account.cache_client()
+        yield from blob.create_container("hot")
+        yield from blob.upload_blob("hot", "object",
+                                    random_content(HOT_OBJECT_BYTES, seed=1))
+        yield from cache.create_cache("hotcache", capacity_bytes=16 * MB)
+
+    env.process(setup())
+    env.run()
+    t0 = env.now
+    procs = [env.process(reader(env, account, w)) for w in range(workers)]
+    env.run(until=AllOf(env, procs))
+    elapsed = env.now - t0
+    stats = account.cache_state.get_cache("hotcache").stats
+    return elapsed, stats
+
+
+def run_cache_ablation():
+    full = os.environ.get("AZUREBENCH_FULL") == "1"
+    worker_counts = [1, 4, 16, 48, 96] if full else [1, 4, 16, 32]
+    fig = FigureData(
+        "Ablation C1",
+        f"Hot-object reads ({READS_PER_WORKER} x 1 MB per worker): "
+        "Blob direct vs cache-aside", "workers", worker_counts)
+    direct, cached, hit_rates = [], [], []
+    for workers in worker_counts:
+        d, _ = _run(_reader_direct, workers)
+        c, stats = _run(_reader_cached, workers)
+        direct.append(d)
+        cached.append(c)
+        hit_rates.append(stats.hit_rate)
+    fig.add("blob direct", direct, unit="s")
+    fig.add("cache-aside", cached, unit="s")
+    fig.add("cache hit rate", hit_rates)
+    return fig
+
+
+def test_ablation_cache(benchmark):
+    fig = benchmark.pedantic(run_cache_ablation, rounds=1, iterations=1)
+    emit(fig)
+
+    direct = fig.get("blob direct").values
+    cached = fig.get("cache-aside").values
+    hits = fig.get("cache hit rate").values
+
+    # The cache wins at every scale and the gap widens with contention (the
+    # hot blob is a single partition; the cache server is 16-way and fast).
+    assert all(c < d for c, d in zip(cached, direct))
+    assert cached[-1] < direct[-1] / 3
+    # Nearly every read after the first is a hit.
+    assert hits[-1] > 0.9

@@ -1,0 +1,128 @@
+"""Ablation: direct TCP endpoints vs queue-mediated role communication.
+
+The paper (Section III): "TCP messages can be sent/received among Azure
+roles or can be used for communication with external services - these
+messages are not currently studied in this paper."
+
+This bench studies them: N worker pairs exchange request/reply messages
+either through Queue storage (the paper's recommended coordination channel,
+durable and fault-tolerant) or over direct TCP endpoints (fast, but no
+durability).  The expected result — endpoints are an order of magnitude
+faster, queues buy persistence — quantifies the trade-off the paper's
+framework makes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit
+
+from repro.bench import FigureData
+from repro.compute import EndpointRegistry
+from repro.sim import SimStorageAccount
+from repro.simkit import AllOf, Environment
+from repro.storage import KB, random_content
+
+MESSAGE_BYTES = 8 * KB
+ROUND_TRIPS = 25
+
+
+def _queue_pair(env, account, pair):
+    """Request/reply over two queues (one per direction)."""
+    qc = account.queue_client()
+    req_q = f"req-{pair}"
+    rep_q = f"rep-{pair}"
+
+    def client():
+        yield from qc.create_queue(req_q)
+        yield from qc.create_queue(rep_q)
+        payload = random_content(MESSAGE_BYTES, seed=pair)
+        for _ in range(ROUND_TRIPS):
+            yield from qc.put_message(req_q, payload)
+            while True:
+                msg = yield from qc.get_message(rep_q, visibility_timeout=60)
+                if msg is not None:
+                    break
+                yield env.timeout(0.05)
+            yield from qc.delete_message(rep_q, msg.message_id, msg.pop_receipt)
+
+    def server():
+        yield from qc.create_queue(req_q)
+        yield from qc.create_queue(rep_q)
+        served = 0
+        while served < ROUND_TRIPS:
+            msg = yield from qc.get_message(req_q, visibility_timeout=60)
+            if msg is None:
+                yield env.timeout(0.05)
+                continue
+            yield from qc.delete_message(req_q, msg.message_id, msg.pop_receipt)
+            yield from qc.put_message(rep_q, msg.content)
+            served += 1
+
+    return client, server
+
+
+def _endpoint_pair(env, registry, pair):
+    """Request/reply over direct TCP endpoints."""
+    client_ep = registry.register(f"client-{pair}")
+    server_ep = registry.register(f"server-{pair}")
+    payload = bytes(MESSAGE_BYTES)
+
+    def client():
+        for _ in range(ROUND_TRIPS):
+            yield from registry.send(f"client-{pair}", f"server-{pair}", payload)
+            yield from client_ep.recv()
+
+    def server():
+        for _ in range(ROUND_TRIPS):
+            msg = yield from server_ep.recv()
+            yield from registry.send(f"server-{pair}", f"client-{pair}",
+                                     msg.payload)
+
+    return client, server
+
+
+def _run(kind, pairs):
+    env = Environment()
+    account = SimStorageAccount(env, seed=23)
+    registry = EndpointRegistry(env, seed=23)
+    procs = []
+    for pair in range(pairs):
+        if kind == "queue":
+            client, server = _queue_pair(env, account, pair)
+        else:
+            client, server = _endpoint_pair(env, registry, pair)
+        procs.append(env.process(client()))
+        procs.append(env.process(server()))
+    env.run(until=AllOf(env, procs))
+    return env.now
+
+
+def run_endpoints_ablation():
+    full = os.environ.get("AZUREBENCH_FULL") == "1"
+    pair_counts = [1, 4, 16, 48] if full else [1, 4, 16]
+    fig = FigureData(
+        "Ablation E1",
+        f"{ROUND_TRIPS} request/reply round trips per role pair "
+        f"({MESSAGE_BYTES // KB} KB messages)", "role pairs", pair_counts)
+    fig.add("via Queue storage", [_run("queue", p) for p in pair_counts],
+            unit="s")
+    fig.add("via TCP endpoints", [_run("tcp", p) for p in pair_counts],
+            unit="s")
+    return fig
+
+
+def test_ablation_endpoints(benchmark):
+    fig = benchmark.pedantic(run_endpoints_ablation, rounds=1, iterations=1)
+    emit(fig)
+
+    queue_t = fig.get("via Queue storage").values
+    tcp_t = fig.get("via TCP endpoints").values
+
+    # Direct endpoints are at least an order of magnitude faster...
+    assert all(t * 10 < q for t, q in zip(tcp_t, queue_t)), (tcp_t, queue_t)
+    # ...and both channels scale with independent pairs (queues are
+    # partitioned per pair; endpoints are point-to-point).
+    assert queue_t[-1] < queue_t[0] * 3
+    assert tcp_t[-1] < tcp_t[0] * 3

@@ -1,0 +1,67 @@
+"""Ablation: table partitioning quality.
+
+The paper (IV.C): "Tables are partitioned on the partition keys … A single
+partition can support access to a maximum of 500 entities per second.
+Therefore, a good partitioning of a table can significantly boost the
+performance of Table storage."
+
+This bench runs Algorithm 5 twice at the same scale — once with the paper's
+per-worker partitions and once with every worker hammering one shared
+partition — and shows the throttling and serialization the bad layout buys.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit
+
+from repro.bench import FigureData
+from repro.core import (
+    OP_INSERT,
+    RunConfig,
+    TableBenchConfig,
+    run_bench,
+    table_bench_body,
+    table_phase_name,
+)
+from repro.storage import KB
+
+
+def run_partitioning_ablation():
+    full = os.environ.get("AZUREBENCH_FULL") == "1"
+    workers = 48 if full else 24
+    entity_count = 200 if full else 60
+    size = 32 * KB
+
+    fig = FigureData(
+        "Ablation P1",
+        f"Insert phase at {workers} workers, {entity_count} x 32 KB entities "
+        "per worker", "layout", ["per-worker partitions", "shared partition"])
+
+    times, retries = [], []
+    for strategy in ("per-worker", "shared"):
+        cfg = TableBenchConfig(
+            entity_count=entity_count, entity_sizes=(size,),
+            partition_strategy=strategy,
+        )
+        result = run_bench(lambda: table_bench_body(cfg),
+                           RunConfig(workers=workers, seed=99))
+        stats = result.phase(table_phase_name(OP_INSERT, size))
+        times.append(stats.mean_worker_time)
+        retries.append(float(stats.total_retries))
+    fig.add("insert time", times, unit="s")
+    fig.add("ServerBusy retries", retries)
+    return fig
+
+
+def test_ablation_partitioning(benchmark):
+    fig = benchmark.pedantic(run_partitioning_ablation, rounds=1, iterations=1)
+    emit(fig)
+
+    good, bad = fig.get("insert time").values
+    # The shared partition is substantially slower...
+    assert bad > 1.5 * good, (good, bad)
+    # ...and it, not the good layout, is what triggers throttling.
+    good_retries, bad_retries = fig.get("ServerBusy retries").values
+    assert bad_retries >= good_retries

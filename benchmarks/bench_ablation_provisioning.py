@@ -1,0 +1,75 @@
+"""Ablation: resource provisioning / deployment timing.
+
+The paper's future work: "We will also include resource provisioning times
+and application deployment timings."  This bench supplies those numbers on
+the provisioning model: time-to-first-instance and time-to-full-fleet as
+the requested instance count and VM size grow.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit
+
+from repro.bench import FigureData
+from repro.compute import (
+    Deployment,
+    EXTRA_LARGE,
+    ProvisioningModel,
+    SMALL,
+    provisioned_start,
+)
+from repro.sim import SimStorageAccount
+from repro.simkit import Environment
+
+
+def _provision_fleet(instances, vm_size, seed=0):
+    env = Environment()
+    account = SimStorageAccount(env, seed=seed)
+
+    def body(ctx):
+        yield ctx.sleep(0)  # instant app; we only time provisioning
+        return ctx.role_id
+
+    deployment = Deployment(env, account, body, instances=instances,
+                            vm_size=vm_size)
+    ready, record = provisioned_start(deployment, ProvisioningModel(seed=seed))
+    env.run(until=ready)
+    return record
+
+
+def run_provisioning_ablation():
+    full = os.environ.get("AZUREBENCH_FULL") == "1"
+    counts = [1, 8, 32, 96] if full else [1, 8, 32]
+    fig = FigureData(
+        "Ablation D1", "Deployment provisioning time (Small vs Extra Large)",
+        "instances", counts)
+    for vm in (SMALL, EXTRA_LARGE):
+        first, all_ready = [], []
+        for n in counts:
+            record = _provision_fleet(n, vm, seed=5)
+            first.append(record.first_ready_at / 60)
+            all_ready.append(record.all_ready_at / 60)
+        fig.add(f"{vm.name}: first ready", first, unit="min")
+        fig.add(f"{vm.name}: fleet ready", all_ready, unit="min")
+    return fig
+
+
+def test_ablation_provisioning(benchmark):
+    fig = benchmark.pedantic(run_provisioning_ablation, rounds=1, iterations=1)
+    emit(fig)
+
+    small_fleet = fig.get("Small: fleet ready").values
+    xl_fleet = fig.get("Extra Large: fleet ready").values
+    small_first = fig.get("Small: first ready").values
+
+    # Minutes-scale provisioning, as the 2012 fabric delivered.
+    assert 3 < small_first[0] < 20
+    # Bigger VMs take longer to come up.
+    assert all(x > s for s, x in zip(small_fleet, xl_fleet))
+    # Fleet-ready time grows with the stragglers of larger requests.
+    assert small_fleet[-1] > small_fleet[0]
+    # First instance is roughly size-bound, not fleet-bound: requesting many
+    # must not multiply the time to the first usable instance.
+    assert small_first[-1] < small_first[0] * 2.5

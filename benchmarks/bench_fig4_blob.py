@@ -1,0 +1,46 @@
+"""Figure 4: Blob storage benchmarks (upload/download throughput and time).
+
+Paper claims this bench must reproduce:
+
+* aggregate throughput rises with workers for uploads and downloads;
+* Page blob upload throughput far exceeds Block blob upload (~60 vs ~21
+  MB/s at 96 workers, a ~3x gap);
+* per-worker download time *increases* with workers (each worker downloads
+  the full blobs), while per-worker upload time *decreases* (fixed total).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+
+def test_fig4_blob_storage(benchmark, runner):
+    thr, tim = benchmark.pedantic(runner.figure4, rounds=1, iterations=1)
+    emit(thr)
+    emit(tim)
+
+    lo, hi = thr.x_values[0], thr.x_values[-1]
+    page_up = thr.get("Page upload").values
+    block_up = thr.get("Block upload").values
+    page_down = thr.get("Page download").values
+    block_down = thr.get("Block download").values
+
+    # Throughput grows with workers for every curve.
+    assert page_up[-1] > 2 * page_up[0]
+    assert block_up[-1] > 2 * block_up[0]
+    assert page_down[-1] > 2 * page_down[0]
+    assert block_down[-1] > 2 * block_down[0]
+
+    # Page upload beats block upload by roughly the paper's ~3x factor.
+    ratio = page_up[-1] / block_up[-1]
+    assert 1.8 <= ratio <= 4.5, f"page/block upload ratio {ratio:.2f}"
+
+    # Whole-blob download is the fastest path of all.
+    assert max(page_down[-1], block_down[-1]) > page_up[-1]
+
+    # Upload time shrinks with workers; download time does not shrink (the
+    # per-worker download load is constant, contention only adds).
+    up_t = tim.get("Page upload").values
+    down_t = tim.get("Page download").values
+    assert up_t[-1] < up_t[0] / 2
+    assert down_t[-1] >= 0.8 * down_t[0]

@@ -1,0 +1,52 @@
+"""Figure 7: Queue storage benchmarks, single shared queue with think time.
+
+Paper claims this bench must reproduce:
+
+* contention on one shared queue makes each operation slower than the
+  separate-queue scenario of Fig 6;
+* "the time taken by an operation reduces as the think time increases; in
+  some cases, the time reduces by a factor of almost two";
+* with the total transaction count held constant, per-worker time falls as
+  workers grow ("As the number of workers starts increasing, the time
+  starts decreasing").
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.storage import KB
+
+
+def test_fig7_queue_shared(benchmark, runner, scale):
+    figs = benchmark.pedantic(runner.figure7, rounds=1, iterations=1)
+    for fig in figs.values():
+        emit(fig)
+
+    think_lo = f"think {scale.shared_think_times[0]:.0f}s"
+    think_hi = f"think {scale.shared_think_times[-1]:.0f}s"
+
+    get = figs["Fig 7c"]
+    put = figs["Fig 7a"]
+
+    # Longer think time never hurts, and helps measurably somewhere.
+    lo = get.get(think_lo).values
+    hi = get.get(think_hi).values
+    assert all(h <= l * 1.10 for l, h in zip(lo, hi))
+    assert any(h < l * 0.85 for l, h in zip(lo, hi)), (lo, hi)
+
+    # Per-worker time decreases as workers grow (fixed total transactions).
+    assert lo[-1] < lo[0]
+    put_lo = put.get(think_lo).values
+    assert put_lo[-1] < put_lo[0]
+
+    # Contention: shared-queue per-op cost >= the separate-queue cost of
+    # Fig 6 at the top worker count (same 32 KB size).
+    sep = runner.queue_separate_sweep()
+    shared = runner.queue_shared_sweep()
+    top = scale.worker_counts[-1]
+    from repro.core import OP_GET, phase_name, shared_phase_name
+    sep_get = sep[top].phase(phase_name(OP_GET, 32 * KB)).mean_op_time
+    shared_get = shared[top].phase(
+        shared_phase_name(OP_GET, scale.shared_think_times[0])).mean_op_time
+    assert shared_get >= 0.9 * sep_get, (shared_get, sep_get)

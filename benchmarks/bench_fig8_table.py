@@ -1,0 +1,57 @@
+"""Figure 8: Table storage benchmarks (Insert/Query/Update/Delete).
+
+Paper claims this bench must reproduce:
+
+* "The timings are almost constant till 4 concurrent clients for all entity
+  sizes across all four operations";
+* "updating a table is the most time consuming process" and "the least
+  expensive process is querying";
+* "For entity sizes 32 KB and 64 KB, the time taken for all of the four
+  operations increases drastically with increasing number of worker role
+  instances".
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.storage import KB
+
+
+def test_fig8_table_storage(benchmark, runner, scale):
+    figs = benchmark.pedantic(runner.figure8, rounds=1, iterations=1)
+    for fig in figs.values():
+        emit(fig)
+
+    insert = figs["Fig 8a"]
+    query = figs["Fig 8b"]
+    update = figs["Fig 8c"]
+    delete = figs["Fig 8d"]
+    workers = insert.x_values
+
+    for size in scale.table_entity_sizes:
+        label = f"{size // KB} KB"
+        q = query.get(label).values
+        u = update.get(label).values
+        i = insert.get(label).values
+        d = delete.get(label).values
+        # Query cheapest, Update most expensive, at every worker count.
+        assert all(qq < min(ii, dd, uu) for qq, ii, dd, uu
+                   in zip(q, i, d, u)), label
+        assert all(uu > max(ii, dd) for uu, ii, dd in zip(u, i, d)), label
+
+    # Flat until 4 workers: within 15% of the 1-worker time.
+    idx4 = max(k for k, w in enumerate(workers) if w <= 4)
+    for size in scale.table_entity_sizes:
+        label = f"{size // KB} KB"
+        for fig in (insert, query, update, delete):
+            v = fig.get(label).values
+            assert v[idx4] <= 1.15 * v[0], (fig.figure_id, label, v)
+
+    # 32/64 KB blow up with workers far more than 4 KB does.
+    big = update.get("64 KB").values
+    small = update.get("4 KB").values
+    big_growth = big[-1] / big[0]
+    small_growth = small[-1] / small[0]
+    assert big_growth > small_growth * 1.15, (big_growth, small_growth)
+    assert big_growth > 1.3, big_growth

@@ -1,0 +1,38 @@
+"""Figure 9: per-operation time for Table and Queue storage services.
+
+Paper claim: "It is evident from Figure 9 that the Queue storage scales
+better than the Table storage as the number of workers increases."
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+
+def test_fig9_per_operation_time(benchmark, runner):
+    fig = benchmark.pedantic(runner.figure9, rounds=1, iterations=1)
+    emit(fig)
+
+    q_put = fig.get("queue put").values
+    q_peek = fig.get("queue peek").values
+    q_get = fig.get("queue get").values
+    t_query = fig.get("table query").values
+    t_update = fig.get("table update").values
+
+    # Queue per-op times stay near-flat as workers grow (separate queues ->
+    # separate partition servers).  At 96 workers the account-wide 5,000
+    # tx/s target starts to graze the fleet's aggregate rate, so allow the
+    # mild drift the real platform would also show; the paper's claim is
+    # the *relative* one checked below.
+    assert q_put[-1] <= 1.3 * q_put[0]
+    assert q_peek[-1] <= 2.0 * q_peek[0]
+
+    # Table per-op times grow with workers (range-server contention):
+    # queue scales better than table.
+    queue_growth = q_get[-1] / q_get[0]
+    table_growth = t_update[-1] / t_update[0]
+    assert table_growth > queue_growth, (table_growth, queue_growth)
+
+    # Within each service the per-op ordering holds at the top scale.
+    assert q_peek[-1] < q_put[-1] < q_get[-1]
+    assert t_query[-1] < t_update[-1]

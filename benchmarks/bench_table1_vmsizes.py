@@ -1,0 +1,23 @@
+"""Table I: virtual machine configurations available for Azure roles."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench import figure_table1
+from repro.compute import EXTRA_LARGE, EXTRA_SMALL, TABLE_I
+
+
+def test_table1_vm_sizes(benchmark):
+    fig = benchmark.pedantic(figure_table1, rounds=1, iterations=1)
+    emit(fig)
+    # The paper's Table I rows, exactly.
+    assert [v.name for v in TABLE_I] == [
+        "Extra Small", "Small", "Medium", "Large", "Extra Large",
+    ]
+    assert EXTRA_SMALL.shared_core and EXTRA_SMALL.memory_mb == 768
+    assert EXTRA_LARGE.cpu_cores == 8 and EXTRA_LARGE.memory_mb == 14 * 1024
+    assert [v.storage_gb for v in TABLE_I] == [20, 225, 490, 1000, 2040]
+    # Memory doubles up the ladder from Small (1.75 GB) to Extra Large (14 GB).
+    mems = [v.memory_mb for v in TABLE_I[1:]]
+    assert all(b == 2 * a for a, b in zip(mems, mems[1:]))

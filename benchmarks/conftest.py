@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # quick scale
+    AZUREBENCH_FULL=1 pytest benchmarks/ --benchmark-only   # paper scale
+
+Each bench regenerates one table/figure of the paper, prints the series
+(use ``-s`` to see them mid-run; they also land in the captured output),
+and asserts the paper's qualitative claims about that figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import FigureRunner, active_scale
+
+
+@pytest.fixture(scope="session")
+def runner() -> FigureRunner:
+    """One FigureRunner per session so figures share cached sweeps."""
+    return FigureRunner(active_scale())
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return active_scale()
+
+
+def emit(fig) -> None:
+    """Print one figure's series table (shown with pytest -s)."""
+    print()
+    print(fig.to_text())

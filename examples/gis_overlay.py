@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Crayons-style GIS polygon overlay on the Azure framework (paper [9]).
+
+The paper's authors built Crayons, a cloud GIS system whose workload — map
+overlay over spatial tiles — is heavily skewed: a few dense urban tiles
+carry most of the polygons.  This example shows why their queue-based task
+pool beats static partitioning on such skew:
+
+1. tile data is uploaded to Blob storage (one blob per tile);
+2. tile descriptors go on the task-assignment queue;
+3. worker roles pull tiles dynamically, fetch the blob, "overlay" the
+   polygons (simulated compute proportional to the polygon product), and
+   write result summaries to Table storage;
+4. the run is compared against an idealized static partitioning of the
+   same tiles.
+
+    python examples/gis_overlay.py [workers] [grid]
+"""
+
+import json
+import sys
+
+from repro.compute import Fabric
+from repro.framework import TaskPoolApp, TaskPoolConfig
+from repro.sim import SimStorageAccount
+from repro.simkit import Environment
+from repro.storage import random_content
+from repro.workloads import GISTile, gis_tiles
+
+#: Simulated seconds per (base x overlay) polygon pair.
+OVERLAY_COST = 4e-6
+
+
+def make_handler(container):
+    def handler(ctx, payload):
+        tile = GISTile.from_message(payload)
+        blob = ctx.account.blob_client()
+        table = ctx.account.table_client()
+        # Fetch the tile's polygon data from Blob storage.
+        yield from blob.download_block_blob(container, f"tile-{tile.tile_id}")
+        # Overlay: compute time scales with the polygon product (skewed!).
+        yield ctx.sleep(OVERLAY_COST * tile.base_polygons * tile.overlay_polygons)
+        # Persist a result row.
+        yield from table.insert(
+            "OverlayResults", f"worker-{ctx.role_id}", f"tile-{tile.tile_id}",
+            {"Intersections": tile.base_polygons * tile.overlay_polygons // 7,
+             "Tile": tile.tile_id})
+        return json.dumps({"tile": tile.tile_id,
+                           "worker": ctx.role_id}).encode()
+
+    return handler
+
+
+def upload_tiles(env, account, tiles, container):
+    """Seed Blob storage with one blob per tile (untimed setup)."""
+    def setup():
+        blob = account.blob_client()
+        table = account.table_client()
+        yield from blob.create_container(container)
+        yield from table.create_table("OverlayResults")
+        for tile in tiles:
+            yield from blob.upload_blob(
+                container, f"tile-{tile.tile_id}",
+                random_content(tile.data_bytes, seed=tile.tile_id))
+
+    env.process(setup())
+    env.run()
+
+
+def static_partition_makespan(tiles, workers):
+    """Idealized static split: contiguous tile ranges per worker."""
+    per = max(1, len(tiles) // workers)
+    spans = [tiles[i * per:(i + 1) * per] for i in range(workers)]
+    spans[-1].extend(tiles[workers * per:])
+    loads = [sum(OVERLAY_COST * t.base_polygons * t.overlay_polygons
+                 for t in span) for span in spans]
+    return max(loads) if loads else 0.0
+
+
+def main():
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    grid = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    container = "gis-tiles"
+
+    tiles = gis_tiles(grid=grid, seed=7)
+    total_polygons = sum(t.base_polygons + t.overlay_polygons for t in tiles)
+    dens = sorted(t.base_polygons * t.overlay_polygons for t in tiles)
+    print(f"grid            : {grid}x{grid} = {len(tiles)} tiles, "
+          f"{total_polygons:,} polygons")
+    print(f"skew            : densest tile {dens[-1]:,} pairs vs "
+          f"median {dens[len(dens) // 2]:,}")
+
+    env = Environment()
+    account = SimStorageAccount(env, seed=3)
+    upload_tiles(env, account, tiles, container)
+    t_setup = env.now
+
+    fabric = Fabric(env, account)
+    app = TaskPoolApp(
+        TaskPoolConfig(name="gis", visibility_timeout=600.0,
+                       collect_results=True),
+        make_handler(container))
+    fabric.deploy(app.web_role_body([t.to_message() for t in tiles],
+                                    poll_interval=0.5),
+                  instances=1, name="web")
+    fabric.deploy(app.worker_role_body(), instances=workers, name="workers")
+    fabric.run_all()
+
+    dynamic_time = env.now - t_setup
+    static_time = static_partition_makespan(tiles, workers)
+    results = account.state.tables.get_table("OverlayResults")
+
+    print(f"workers         : {workers}")
+    print(f"tiles completed : {results.entity_count()} "
+          f"(rows in Table storage)")
+    print(f"dynamic pool    : {dynamic_time:8.1f}s simulated "
+          "(queue task pool, incl. storage I/O)")
+    print(f"static split    : {static_time:8.1f}s simulated "
+          "(compute only, no I/O — an optimistic bound)")
+    if static_time > 0:
+        print(f"-> dynamic load balancing wins on skew whenever "
+              f"{dynamic_time:.0f}s < {static_time:.0f}s: "
+              f"{'YES' if dynamic_time < static_time else 'no (I/O bound)'}")
+
+
+if __name__ == "__main__":
+    main()

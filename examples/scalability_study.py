@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A miniature Figure-4 scalability study from the public API.
+
+Sweeps worker counts over the Blob benchmark (paper Algorithm 1) on the
+simulated fabric and prints throughput/time series next to the paper's
+reported maxima.
+
+    python examples/scalability_study.py            # quick sweep
+    AZUREBENCH_FULL=1 python examples/scalability_study.py   # paper scale
+"""
+
+import os
+
+from repro.bench import PAPER_ANCHORS
+from repro.core import (
+    PHASE_BLOCK_FULL_DOWNLOAD,
+    PHASE_BLOCK_UPLOAD,
+    PHASE_PAGE_FULL_DOWNLOAD,
+    PHASE_PAGE_UPLOAD,
+    BlobBenchConfig,
+    RunConfig,
+    blob_bench_body,
+    sweep_workers,
+)
+
+PHASES = [
+    ("page upload", PHASE_PAGE_UPLOAD, "blob_max_upload_mbps"),
+    ("block upload", PHASE_BLOCK_UPLOAD, "blob_block_upload_mbps"),
+    ("page download", PHASE_PAGE_FULL_DOWNLOAD, None),
+    ("block download", PHASE_BLOCK_FULL_DOWNLOAD, "blob_max_download_mbps"),
+]
+
+
+def main():
+    full = os.environ.get("AZUREBENCH_FULL") == "1"
+    worker_counts = [1, 2, 4, 8, 16, 32, 48, 64, 80, 96] if full \
+        else [1, 2, 4, 8, 16, 32]
+    cfg = BlobBenchConfig(total_chunks=100 if full else 48,
+                          repeats=3 if full else 1)
+
+    print(f"sweeping workers {worker_counts} "
+          f"({'paper' if full else 'quick'} scale)...")
+    sweep = sweep_workers(lambda: blob_bench_body(cfg), worker_counts,
+                          RunConfig(seed=2012))
+
+    header = f"{'workers':>8}" + "".join(
+        f"{label:>16}" for label, _, _ in PHASES)
+    print("\nThroughput (MB/s):")
+    print(header)
+    for w, result in sweep.items():
+        row = f"{w:>8}"
+        for _, phase, _ in PHASES:
+            row += f"{result.phase(phase).throughput_mb_per_s:>16.1f}"
+        print(row)
+
+    print("\nPer-worker time (s):")
+    print(header)
+    for w, result in sweep.items():
+        row = f"{w:>8}"
+        for _, phase, _ in PHASES:
+            row += f"{result.phase(phase).mean_worker_time:>16.1f}"
+        print(row)
+
+    top = sweep[worker_counts[-1]]
+    print(f"\nAt {worker_counts[-1]} workers vs the paper's 96-worker maxima:")
+    for label, phase, anchor_key in PHASES:
+        measured = top.phase(phase).throughput_mb_per_s
+        if anchor_key:
+            anchor = PAPER_ANCHORS[anchor_key]
+            print(f"  {label:15s} {measured:7.1f} MB/s   "
+                  f"(paper: {anchor.value:.0f} {anchor.unit}, {anchor.where})")
+        else:
+            print(f"  {label:15s} {measured:7.1f} MB/s")
+
+
+if __name__ == "__main__":
+    main()

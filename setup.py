@@ -1,0 +1,5 @@
+"""Legacy setup shim so editable installs work offline (no wheel package)."""
+
+from setuptools import setup
+
+setup()

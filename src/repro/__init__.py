@@ -1,0 +1,21 @@
+"""AzureBench reproduction.
+
+A from-scratch Python reproduction of *AzureBench: Benchmarking the Storage
+Services of the Azure Cloud Platform* (Agarwal & Prasad, IPDPS Workshops
+2012), including:
+
+* :mod:`repro.simkit` -- a discrete-event simulation kernel,
+* :mod:`repro.storage` -- the Azure (2012) Blob/Queue/Table data planes,
+* :mod:`repro.cluster` -- the storage fabric performance model,
+* :mod:`repro.sim` -- simulated storage clients,
+* :mod:`repro.emulator` -- a thread-safe local emulator (Azurite-equivalent),
+* :mod:`repro.compute` -- web/worker role substrate (paper Table I),
+* :mod:`repro.framework` -- the generic bag-of-tasks application framework
+  (paper Section III) and the queue barrier (Algorithm 2),
+* :mod:`repro.core` -- the AzureBench benchmark algorithms (paper Section IV),
+* :mod:`repro.bench` -- reporting/regeneration of the paper's figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Analysis utilities: scalability metrics and terminal charts."""
+
+from .charts import ascii_chart, sparkline
+from .scaling import (
+    USLFit,
+    crossover,
+    efficiency,
+    fit_usl,
+    knee_point,
+    saturation_point,
+    speedup,
+)
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "saturation_point",
+    "knee_point",
+    "crossover",
+    "USLFit",
+    "fit_usl",
+    "ascii_chart",
+    "sparkline",
+]

@@ -1,0 +1,99 @@
+"""Terminal (ASCII) charts for benchmark series — no plotting dependency.
+
+Renders :class:`~repro.bench.report.FigureData` line charts good enough to
+eyeball the paper's shapes in a terminal or a text log. ::
+
+    from repro.analysis import ascii_chart
+    print(ascii_chart(fig, height=12))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["ascii_chart", "sparkline"]
+
+_MARKERS = "ox+*#@%&"
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a series."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return _BLOCKS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 2)) + 1
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def ascii_chart(fig, *, width: int = 64, height: int = 14,
+                logy: bool = False) -> str:
+    """Render a FigureData as an ASCII line chart with a legend.
+
+    X positions follow sample order (the paper's worker counts are roughly
+    log-spaced already); Y is linear unless ``logy``.
+    """
+    import math
+
+    series = fig.series
+    if not series:
+        return f"{fig.figure_id}: (no series)"
+    n = len(fig.x_values)
+    if n < 2:
+        return f"{fig.figure_id}: (need >= 2 points)"
+
+    def ty(v: float) -> float:
+        if logy:
+            return math.log10(max(v, 1e-12))
+        return v
+
+    all_vals = [ty(v) for s in series for v in s.values]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        prev_col = prev_row = None
+        for i, v in enumerate(s.values):
+            col = round(i * (width - 1) / (n - 1))
+            frac = (ty(v) - lo) / (hi - lo)
+            row = (height - 1) - round(frac * (height - 1))
+            if prev_col is not None:
+                # Sparse line: fill intermediate columns by interpolation.
+                for c in range(prev_col + 1, col):
+                    t = (c - prev_col) / (col - prev_col)
+                    r = round(prev_row + (row - prev_row) * t)
+                    if grid[r][c] == " ":
+                        grid[r][c] = "."
+            grid[row][col] = marker
+            prev_col, prev_row = col, row
+
+    top_label = f"{(10 ** hi if logy else hi):.3g}"
+    bottom_label = f"{(10 ** lo if logy else lo):.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    lines = [f"{fig.figure_id}: {fig.title}"]
+    for r, row in enumerate(grid):
+        label = top_label if r == 0 else bottom_label if r == height - 1 else ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    x_first, x_last = str(fig.x_values[0]), str(fig.x_values[-1])
+    axis = " " * pad + " +" + "-" * width
+    xlab = (" " * (pad + 2) + x_first
+            + " " * max(1, width - len(x_first) - len(x_last))
+            + x_last)
+    lines.append(axis)
+    lines.append(xlab + f"   ({fig.x_label})")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}"
+        + (f" [{s.unit}]" if s.unit else "")
+        for i, s in enumerate(series))
+    lines.append(" " * (pad + 2) + legend)
+    return "\n".join(lines)

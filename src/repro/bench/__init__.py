@@ -1,0 +1,33 @@
+"""Reporting and figure-regeneration layer of the reproduction."""
+
+from .compare import ComparisonRow, compare_to_paper, comparison_table
+from .figures import (
+    BenchScale,
+    FigureRunner,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    active_scale,
+    figure_table1,
+)
+from .paper import PAPER_ANCHORS, PaperAnchor, qualitative_claims
+from .reportgen import generate_report
+from .report import FigureData, Series, format_table
+
+__all__ = [
+    "BenchScale",
+    "FigureRunner",
+    "QUICK_SCALE",
+    "PAPER_SCALE",
+    "active_scale",
+    "figure_table1",
+    "FigureData",
+    "Series",
+    "format_table",
+    "PAPER_ANCHORS",
+    "PaperAnchor",
+    "qualitative_claims",
+    "ComparisonRow",
+    "compare_to_paper",
+    "comparison_table",
+    "generate_report",
+]

@@ -1,0 +1,347 @@
+"""Regeneration harness for every table and figure in the paper.
+
+:class:`FigureRunner` runs the AzureBench sweeps on the simulated fabric and
+shapes the results into :class:`~repro.bench.report.FigureData` matching the
+paper's plots:
+
+* Table I — VM configurations,
+* Fig 4   — Blob storage throughput & time (upload + whole-blob download),
+* Fig 5   — Blob download one page/block at a time,
+* Fig 6   — Queue benchmarks, separate queue per worker (Put/Peek/Get),
+* Fig 7   — Queue benchmarks, single shared queue (think times),
+* Fig 8   — Table storage (Insert/Query/Update/Delete),
+* Fig 9   — Per-operation time, Queue vs Table.
+
+Sweep results are cached per scale so figures sharing a run (4 & 5; 6 & 9;
+8 & 9) do not recompute it.  ``QUICK_SCALE`` keeps the full suite fast for
+CI; ``PAPER_SCALE`` uses the paper's parameters (AZUREBENCH_FULL=1).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compute import TABLE_I
+from ..core import (
+    OP_DELETE,
+    OP_GET,
+    OP_INSERT,
+    OP_PEEK,
+    OP_PUT,
+    OP_QUERY,
+    OP_UPDATE,
+    PHASE_BLOCK_FULL_DOWNLOAD,
+    PHASE_BLOCK_SEQ_DOWNLOAD,
+    PHASE_BLOCK_UPLOAD,
+    PHASE_PAGE_FULL_DOWNLOAD,
+    PHASE_PAGE_RANDOM_DOWNLOAD,
+    PHASE_PAGE_UPLOAD,
+    BenchResult,
+    BlobBenchConfig,
+    RunConfig,
+    SeparateQueueBenchConfig,
+    SharedQueueBenchConfig,
+    TableBenchConfig,
+    blob_bench_body,
+    phase_name,
+    separate_queue_bench_body,
+    shared_phase_name,
+    shared_queue_bench_body,
+    sweep_workers,
+    table_bench_body,
+    table_phase_name,
+)
+from ..storage import KB, MB
+from .report import FigureData, format_table
+
+__all__ = [
+    "BenchScale",
+    "QUICK_SCALE",
+    "PAPER_SCALE",
+    "active_scale",
+    "FigureRunner",
+    "figure_table1",
+]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizes of one benchmarking campaign."""
+
+    name: str
+    worker_counts: Tuple[int, ...]
+    blob_total_chunks: int
+    blob_repeats: int
+    queue_total_messages: int
+    queue_message_sizes: Tuple[int, ...]
+    shared_total_transactions: int
+    shared_think_times: Tuple[float, ...]
+    table_entity_count: int
+    table_entity_sizes: Tuple[int, ...]
+    seed: int = 2012
+
+
+#: Fast scale: full sweep in well under a minute.
+QUICK_SCALE = BenchScale(
+    name="quick",
+    worker_counts=(1, 2, 4, 8, 16, 32),
+    blob_total_chunks=64,
+    blob_repeats=1,
+    queue_total_messages=2_000,
+    queue_message_sizes=(4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB),
+    shared_total_transactions=2_000,
+    shared_think_times=(1.0, 3.0, 5.0),
+    table_entity_count=100,
+    table_entity_sizes=(4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB),
+)
+
+#: The paper's parameters (Section IV): 100 MB blobs x 10 repeats, 20,000
+#: queue messages, 500 entities, up to 96 workers.
+PAPER_SCALE = BenchScale(
+    name="paper",
+    worker_counts=(1, 2, 4, 8, 16, 32, 48, 64, 80, 96),
+    blob_total_chunks=100,
+    blob_repeats=10,
+    queue_total_messages=20_000,
+    queue_message_sizes=(4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB),
+    shared_total_transactions=20_000,
+    shared_think_times=(1.0, 2.0, 3.0, 4.0, 5.0),
+    table_entity_count=500,
+    table_entity_sizes=(4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB),
+)
+
+
+def active_scale() -> BenchScale:
+    """``PAPER_SCALE`` when AZUREBENCH_FULL=1, else ``QUICK_SCALE``."""
+    return PAPER_SCALE if os.environ.get("AZUREBENCH_FULL") == "1" else QUICK_SCALE
+
+
+def figure_table1() -> FigureData:
+    """Table I: VM configurations of Windows Azure roles."""
+    fig = FigureData(
+        "Table I", "Virtual machine configurations for web/worker roles",
+        "VM Size", [v.name for v in TABLE_I],
+    )
+    fig.add("CPU Cores", [(-1.0 if v.shared_core else float(v.cpu_cores))
+                          for v in TABLE_I],
+            unit="cores; -1=shared")
+    fig.add("Memory", [v.memory_mb / 1024 for v in TABLE_I], unit="GB")
+    fig.add("Storage", [float(v.storage_gb) for v in TABLE_I], unit="GB")
+    fig.notes = "Extra Small reports a shared core (-1 in the cores column)."
+    return fig
+
+
+class FigureRunner:
+    """Runs and caches the sweeps behind Figures 4-9."""
+
+    def __init__(self, scale: Optional[BenchScale] = None) -> None:
+        self.scale = scale if scale is not None else active_scale()
+        self._blob: Optional[Dict[int, BenchResult]] = None
+        self._queue_sep: Optional[Dict[int, BenchResult]] = None
+        self._queue_shared: Optional[Dict[int, BenchResult]] = None
+        self._table: Optional[Dict[int, BenchResult]] = None
+
+    # -- sweeps (cached) -------------------------------------------------
+    def blob_sweep(self) -> Dict[int, BenchResult]:
+        if self._blob is None:
+            cfg = BlobBenchConfig(
+                total_chunks=self.scale.blob_total_chunks,
+                repeats=self.scale.blob_repeats,
+                seed=self.scale.seed,
+            )
+            self._blob = sweep_workers(
+                lambda: blob_bench_body(cfg), self.scale.worker_counts,
+                RunConfig(seed=self.scale.seed, label="fig4/5"),
+            )
+        return self._blob
+
+    def queue_separate_sweep(self) -> Dict[int, BenchResult]:
+        if self._queue_sep is None:
+            cfg = SeparateQueueBenchConfig(
+                total_messages=self.scale.queue_total_messages,
+                message_sizes=self.scale.queue_message_sizes,
+                seed=self.scale.seed,
+            )
+            self._queue_sep = sweep_workers(
+                lambda: separate_queue_bench_body(cfg),
+                self.scale.worker_counts,
+                RunConfig(seed=self.scale.seed, label="fig6"),
+            )
+        return self._queue_sep
+
+    def queue_shared_sweep(self) -> Dict[int, BenchResult]:
+        if self._queue_shared is None:
+            cfg = SharedQueueBenchConfig(
+                total_transactions=self.scale.shared_total_transactions,
+                think_times=self.scale.shared_think_times,
+                seed=self.scale.seed,
+            )
+            self._queue_shared = sweep_workers(
+                lambda: shared_queue_bench_body(cfg),
+                self.scale.worker_counts,
+                RunConfig(seed=self.scale.seed, label="fig7"),
+            )
+        return self._queue_shared
+
+    def table_sweep(self) -> Dict[int, BenchResult]:
+        if self._table is None:
+            cfg = TableBenchConfig(
+                entity_count=self.scale.table_entity_count,
+                entity_sizes=self.scale.table_entity_sizes,
+                seed=self.scale.seed,
+            )
+            self._table = sweep_workers(
+                lambda: table_bench_body(cfg), self.scale.worker_counts,
+                RunConfig(seed=self.scale.seed, label="fig8"),
+            )
+        return self._table
+
+    # -- figures -----------------------------------------------------------
+    def figure4(self) -> Tuple[FigureData, FigureData]:
+        """Fig 4(a) throughput and 4(b) time of Blob storage benchmarks."""
+        sweep = self.blob_sweep()
+        workers = list(sweep)
+        thr = FigureData("Fig 4a", "Blob storage benchmarks - throughput",
+                         "workers", workers)
+        tim = FigureData("Fig 4b", "Blob storage benchmarks - time",
+                         "workers", workers)
+        phases = [
+            ("Page upload", PHASE_PAGE_UPLOAD),
+            ("Block upload", PHASE_BLOCK_UPLOAD),
+            ("Page download", PHASE_PAGE_FULL_DOWNLOAD),
+            ("Block download", PHASE_BLOCK_FULL_DOWNLOAD),
+        ]
+        for label, key in phases:
+            thr.add(label,
+                    [sweep[w].phase(key).throughput_mb_per_s for w in workers],
+                    unit="MB/s")
+            tim.add(label,
+                    [sweep[w].phase(key).mean_worker_time for w in workers],
+                    unit="s")
+        return thr, tim
+
+    def figure5(self) -> Tuple[FigureData, FigureData]:
+        """Fig 5: blob download one page/block at a time."""
+        sweep = self.blob_sweep()
+        workers = list(sweep)
+        thr = FigureData("Fig 5a", "Chunked blob download - throughput",
+                         "workers", workers)
+        tim = FigureData("Fig 5b", "Chunked blob download - time",
+                         "workers", workers)
+        phases = [
+            ("Page (random)", PHASE_PAGE_RANDOM_DOWNLOAD),
+            ("Block (sequential)", PHASE_BLOCK_SEQ_DOWNLOAD),
+        ]
+        for label, key in phases:
+            thr.add(label,
+                    [sweep[w].phase(key).throughput_mb_per_s for w in workers],
+                    unit="MB/s")
+            tim.add(label,
+                    [sweep[w].phase(key).mean_worker_time for w in workers],
+                    unit="s")
+        return thr, tim
+
+    def figure6(self) -> Dict[str, FigureData]:
+        """Fig 6(a-c): Put/Peek/Get time, separate queue per worker."""
+        sweep = self.queue_separate_sweep()
+        workers = list(sweep)
+        out: Dict[str, FigureData] = {}
+        for panel, op in (("Fig 6a", OP_PUT), ("Fig 6b", OP_PEEK),
+                          ("Fig 6c", OP_GET)):
+            fig = FigureData(
+                panel, f"Queue benchmarks, separate queue per worker - "
+                       f"{op.capitalize()} Message", "workers", workers)
+            for size in self.scale.queue_message_sizes:
+                fig.add(f"{size // KB} KB",
+                        [sweep[w].phase(phase_name(op, size)).mean_worker_time
+                         for w in workers],
+                        unit="s")
+            out[panel] = fig
+        return out
+
+    def figure7(self) -> Dict[str, FigureData]:
+        """Fig 7(a-c): Put/Peek/Get time on a single shared queue."""
+        sweep = self.queue_shared_sweep()
+        workers = list(sweep)
+        out: Dict[str, FigureData] = {}
+        for panel, op in (("Fig 7a", OP_PUT), ("Fig 7b", OP_PEEK),
+                          ("Fig 7c", OP_GET)):
+            fig = FigureData(
+                panel, f"Queue benchmarks, single shared queue - "
+                       f"{op.capitalize()} Message (32 KB)", "workers", workers)
+            for think in self.scale.shared_think_times:
+                fig.add(f"think {think:.0f}s",
+                        [sweep[w].phase(
+                            shared_phase_name(op, think)).mean_worker_time
+                         for w in workers],
+                        unit="s")
+            out[panel] = fig
+        return out
+
+    def figure8(self) -> Dict[str, FigureData]:
+        """Fig 8(a-d): Insert/Query/Update/Delete time of Table storage."""
+        sweep = self.table_sweep()
+        workers = list(sweep)
+        out: Dict[str, FigureData] = {}
+        for panel, op in (("Fig 8a", OP_INSERT), ("Fig 8b", OP_QUERY),
+                          ("Fig 8c", OP_UPDATE), ("Fig 8d", OP_DELETE)):
+            fig = FigureData(
+                panel, f"Table storage - {op.capitalize()}",
+                "workers", workers)
+            for size in self.scale.table_entity_sizes:
+                fig.add(f"{size // KB} KB",
+                        [sweep[w].phase(
+                            table_phase_name(op, size)).mean_worker_time
+                         for w in workers],
+                        unit="s")
+            out[panel] = fig
+        return out
+
+    def figure9(self, *, queue_size: Optional[int] = None,
+                table_size: Optional[int] = None) -> FigureData:
+        """Fig 9: per-operation time for Table and Queue services.
+
+        "The reported time is the average time taken by an operation, i.e.
+        the division of total time taken by all the worker roles to finish
+        that operation, and the number of workers."
+        """
+        def pick(ladder, preferred=32 * KB):
+            return preferred if preferred in ladder else ladder[len(ladder) // 2]
+
+        if queue_size is None:
+            queue_size = pick(self.scale.queue_message_sizes)
+        if table_size is None:
+            table_size = pick(self.scale.table_entity_sizes)
+        qsweep = self.queue_separate_sweep()
+        tsweep = self.table_sweep()
+        workers = list(qsweep)
+        fig = FigureData(
+            "Fig 9", "Per-operation time, Queue (put/peek/get) vs Table "
+                     f"(insert/query/update/delete) at {queue_size // KB} KB",
+            "workers", workers)
+        for op in (OP_PUT, OP_PEEK, OP_GET):
+            fig.add(f"queue {op}",
+                    [qsweep[w].phase(
+                        phase_name(op, queue_size)).mean_op_time * 1000
+                     for w in workers],
+                    unit="ms/op")
+        for op in (OP_INSERT, OP_QUERY, OP_UPDATE, OP_DELETE):
+            fig.add(f"table {op}",
+                    [tsweep[w].phase(
+                        table_phase_name(op, table_size)).mean_op_time * 1000
+                     for w in workers],
+                    unit="ms/op")
+        return fig
+
+    def all_figures(self) -> List[FigureData]:
+        """Every figure, in paper order (runs all sweeps)."""
+        f4a, f4b = self.figure4()
+        f5a, f5b = self.figure5()
+        out = [figure_table1(), f4a, f4b, f5a, f5b]
+        out.extend(self.figure6().values())
+        out.extend(self.figure7().values())
+        out.extend(self.figure8().values())
+        out.append(self.figure9())
+        return out

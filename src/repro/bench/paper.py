@@ -1,0 +1,126 @@
+"""Paper-reported anchor values, for paper-vs-measured comparison.
+
+Only numbers the paper states in text are recorded (the figures themselves
+are not machine-readable); each entry cites the sentence it comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["PaperAnchor", "PAPER_ANCHORS", "qualitative_claims"]
+
+
+@dataclass(frozen=True)
+class PaperAnchor:
+    """One number the paper reports, with its provenance."""
+
+    key: str
+    value: float
+    unit: str
+    where: str
+    quote: str
+
+
+PAPER_ANCHORS: Dict[str, PaperAnchor] = {
+    anchor.key: anchor
+    for anchor in [
+        PaperAnchor(
+            "blob_max_download_mbps", 165.0, "MB/s", "IV.A / Fig 4",
+            "The maximum throughput for blob download process was 165 MB/s, "
+            "achieved for Block blob download using 96 workers",
+        ),
+        PaperAnchor(
+            "blob_max_upload_mbps", 60.0, "MB/s", "IV.A / Fig 4",
+            "the maximum throughput for blob upload process was 60 MB/s, "
+            "realized for Page upload process using 96 workers",
+        ),
+        PaperAnchor(
+            "blob_block_upload_mbps", 21.0, "MB/s", "IV.A / Fig 4",
+            "The maximum throughput for a Block blob upload process was only "
+            "a little over 21 MB/s using 96 workers",
+        ),
+        PaperAnchor(
+            "blob_page_chunk_download_mbps", 71.0, "MB/s", "IV.A / Fig 5",
+            "The maximum throughput achieved by Page wise blob downloading "
+            "was more than 71 MB/s using 96 workers",
+        ),
+        PaperAnchor(
+            "blob_block_chunk_download_mbps", 104.0, "MB/s", "IV.A / Fig 5",
+            "The Block wise blob downloading for the same amount of worker "
+            "roles was more than 104 MB/s",
+        ),
+        PaperAnchor(
+            "queue_max_message_kb", 64.0, "KB", "IV.B",
+            "The maximum size of a message supported by Azure cloud is 64 KB",
+        ),
+        PaperAnchor(
+            "queue_usable_payload_bytes", 49152.0, "B", "IV.B",
+            "48 KB (49152 Bytes to be precise) is the maximum usable size of "
+            "an Azure queue message",
+        ),
+        PaperAnchor(
+            "queue_messages_per_second", 500.0, "msg/s", "IV.B",
+            "A single queue can only handle up to 500 messages per second",
+        ),
+        PaperAnchor(
+            "partition_entities_per_second", 500.0, "ent/s", "IV.C",
+            "A single partition can support access to a maximum of 500 "
+            "entities per second",
+        ),
+        PaperAnchor(
+            "account_transactions_per_second", 5000.0, "tx/s", "IV",
+            "Windows Azure storage services can handle up to 5,000 "
+            "transactions (entities/messages/blobs) per second",
+        ),
+        PaperAnchor(
+            "account_bandwidth_gbps", 3.0, "GB/s", "IV",
+            "there is a maximum bandwidth support for up to 3 GB per second "
+            "for a single storage account",
+        ),
+        PaperAnchor(
+            "blob_throughput_mbps", 60.0, "MB/s", "IV.A",
+            "The throughput of a blob is up to 60 MB per second",
+        ),
+    ]
+}
+
+
+def qualitative_claims() -> Dict[str, str]:
+    """The shape claims a reproduction must preserve (checked by tests)."""
+    return {
+        "fig4_upload_page_gt_block":
+            "Page blob upload throughput exceeds Block blob upload "
+            "throughput (roughly 3x at 96 workers).",
+        "fig4_download_time_grows":
+            "Per-worker download time increases with worker count (each "
+            "worker downloads the full blobs).",
+        "fig4_upload_time_shrinks":
+            "Per-worker upload time decreases with worker count (fixed "
+            "total upload is split).",
+        "fig5_block_gt_page":
+            "Sequential block-wise download outperforms random page-wise "
+            "download.",
+        "fig6_peek_lt_put_lt_get":
+            "Peek is the fastest queue op, Get (incl. delete) the most "
+            "expensive.",
+        "fig6_get_16k_anomaly":
+            "Get on 16 KB messages is consistently slower than both smaller "
+            "and larger sizes.",
+        "fig6_queue_scales":
+            "Separate queues per worker scale: per-worker time drops as "
+            "workers grow.",
+        "fig7_think_time_helps":
+            "On a single shared queue, longer think time lowers per-op time "
+            "(up to ~2x).",
+        "fig8_query_cheapest_update_dearest":
+            "Querying is the least expensive table op, updating the most.",
+        "fig8_flat_until_4":
+            "Table op times are almost constant up to 4 concurrent clients.",
+        "fig8_big_entities_blow_up":
+            "At 32/64 KB entity sizes, times increase drastically with "
+            "worker count.",
+        "fig9_queue_scales_better":
+            "Queue storage scales better than Table storage as workers grow.",
+    }

@@ -1,0 +1,155 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro table1               # paper Table I
+    python -m repro fig 4                # Figure 4 (a+b)
+    python -m repro fig 6 --full         # Figure 6 at paper scale
+    python -m repro all --csv out/       # everything, also CSV files
+    python -m repro claims               # the qualitative claims checked
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .bench import (
+    FigureRunner,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    figure_table1,
+    qualitative_claims,
+)
+
+__all__ = ["main", "build_parser"]
+
+_FIGS = {
+    "table1": "Table I: VM configurations",
+    "4": "Fig 4: Blob storage throughput & time",
+    "5": "Fig 5: Blob download one page/block at a time",
+    "6": "Fig 6: Queue benchmarks, separate queue per worker",
+    "7": "Fig 7: Queue benchmarks, single shared queue",
+    "8": "Fig 8: Table storage Insert/Query/Update/Delete",
+    "9": "Fig 9: Per-operation time, Queue vs Table",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AzureBench reproduction: regenerate the paper's "
+                    "tables and figures on the simulated fabric.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list regenerable tables/figures")
+    sub.add_parser("claims", help="print the paper's qualitative claims")
+    sub.add_parser("table1", help="print paper Table I")
+
+    fig = sub.add_parser("fig", help="regenerate one figure")
+    fig.add_argument("number", choices=["4", "5", "6", "7", "8", "9"])
+    fig.add_argument("--full", action="store_true",
+                     help="paper scale (default: quick scale)")
+    fig.add_argument("--csv", metavar="DIR",
+                     help="also write <DIR>/<figure>.csv files")
+
+    all_cmd = sub.add_parser("all", help="regenerate every table and figure")
+    all_cmd.add_argument("--full", action="store_true")
+    all_cmd.add_argument("--csv", metavar="DIR")
+
+    report = sub.add_parser(
+        "report", help="full reproduction report (figures + audit + analysis)")
+    report.add_argument("--full", action="store_true")
+    report.add_argument("--out", metavar="FILE",
+                        help="also write the report to FILE")
+
+    audit = sub.add_parser(
+        "audit", help="run only the paper-vs-measured audit table")
+    audit.add_argument("--full", action="store_true")
+
+    return parser
+
+
+def _emit(fig, csv_dir: Optional[str]) -> None:
+    print(fig.to_text())
+    print()
+    if csv_dir:
+        os.makedirs(csv_dir, exist_ok=True)
+        name = fig.figure_id.lower().replace(" ", "_")
+        path = os.path.join(csv_dir, f"{name}.csv")
+        with open(path, "w") as f:
+            f.write(fig.to_csv())
+
+
+def _figures_for(runner: FigureRunner, number: str) -> List:
+    if number == "4":
+        return list(runner.figure4())
+    if number == "5":
+        return list(runner.figure5())
+    if number == "6":
+        return list(runner.figure6().values())
+    if number == "7":
+        return list(runner.figure7().values())
+    if number == "8":
+        return list(runner.figure8().values())
+    return [runner.figure9()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for key, desc in _FIGS.items():
+            print(f"  {key:8s} {desc}")
+        return 0
+
+    if args.command == "claims":
+        for key, claim in qualitative_claims().items():
+            print(f"  {key}:")
+            print(f"      {claim}")
+        return 0
+
+    if args.command == "table1":
+        print(figure_table1().to_text())
+        return 0
+
+    scale = PAPER_SCALE if getattr(args, "full", False) else QUICK_SCALE
+    runner = FigureRunner(scale)
+    csv_dir = getattr(args, "csv", None)
+
+    if args.command == "fig":
+        for fig in _figures_for(runner, args.number):
+            _emit(fig, csv_dir)
+        return 0
+
+    if args.command == "all":
+        for fig in runner.all_figures():
+            _emit(fig, csv_dir)
+        return 0
+
+    if args.command == "report":
+        from .bench.reportgen import generate_report
+        text = generate_report(runner)
+        print(text)
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(text)
+        return 0
+
+    if args.command == "audit":
+        from .bench.compare import compare_to_paper, comparison_table
+        rows = compare_to_paper(runner)
+        print(comparison_table(rows))
+        failing = [r for r in rows if not r.holds]
+        print(f"\n{len(rows) - len(failing)}/{len(rows)} checks hold.")
+        return 1 if failing else 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The simulated storage fabric: partition servers, cost model, throttles."""
+
+from .calibration import DEFAULT_CALIBRATION, FabricCalibration
+from .model import StorageCluster
+from .ops import OpDescriptor, OpKind, Service
+from .ratelimit import SlidingWindowThrottle
+from .servers import PartitionServer, ServerPool
+
+__all__ = [
+    "StorageCluster",
+    "FabricCalibration",
+    "DEFAULT_CALIBRATION",
+    "OpDescriptor",
+    "OpKind",
+    "Service",
+    "SlidingWindowThrottle",
+    "PartitionServer",
+    "ServerPool",
+]

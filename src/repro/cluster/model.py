@@ -1,0 +1,287 @@
+"""The storage cluster: cost model + contention + throttling.
+
+:class:`StorageCluster` glues together the fabric pieces:
+
+* a **cost model** turning an :class:`~repro.cluster.ops.OpDescriptor` into
+  front-end RTT plus partition-server occupancy (constants from
+  :mod:`repro.cluster.calibration`),
+* **partition-server pools** per service (placement rules from the paper),
+* **throttles** for the published per-second scalability targets, raising
+  :class:`~repro.storage.errors.ServerBusyError` exactly where the real
+  service would.
+
+Simulated clients (:mod:`repro.sim`) call :meth:`StorageCluster.execute`
+from inside a simkit process to charge the timing of each data-plane call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from ..simkit import Environment, Tally
+from ..storage.errors import ServerBusyError
+from ..storage.limits import LIMITS_2012, ServiceLimits
+from .calibration import DEFAULT_CALIBRATION, FabricCalibration
+from .ops import OpDescriptor, OpKind, Service
+from .ratelimit import SlidingWindowThrottle
+from .servers import PartitionServer, ServerPool
+
+__all__ = ["StorageCluster"]
+
+
+class StorageCluster:
+    """Performance model of one storage account's slice of the fabric."""
+
+    def __init__(self, env: Environment, *,
+                 limits: ServiceLimits = LIMITS_2012,
+                 calibration: FabricCalibration = DEFAULT_CALIBRATION,
+                 seed: int = 0) -> None:
+        calibration.validate()
+        self.env = env
+        self.limits = limits
+        self.cal = calibration
+        self._rng = np.random.default_rng(seed)
+
+        cal = calibration
+        # Placement (paper IV.A-C): blobs and queues get a server per
+        # partition; one table's partitions share a small range-server set.
+        self.blob_servers = ServerPool(env, "blob", cal.blob_server_slots)
+        self.queue_servers = ServerPool(env, "queue", cal.queue_server_slots)
+        self.table_servers = ServerPool(
+            env, "table", cal.table_server_slots, shards=cal.table_range_servers
+        )
+        self.cache_servers = ServerPool(env, "cache", cal.cache_server_slots)
+
+        # Account-wide targets (paper Section IV).
+        self.account_tx_throttle = SlidingWindowThrottle(
+            limits.account_transactions_per_second,
+            cal.throttle_window_s,
+            name="account transactions",
+            retry_after=cal.throttle_retry_after_s,
+        )
+        self.account_bw_throttle = SlidingWindowThrottle(
+            limits.account_bandwidth_bytes_per_second,
+            cal.throttle_window_s,
+            name="account bandwidth",
+            retry_after=cal.throttle_retry_after_s,
+        )
+        # Per-queue and per-table-partition targets, created lazily.
+        self._queue_throttles: Dict[str, SlidingWindowThrottle] = {}
+        self._partition_throttles: Dict[str, SlidingWindowThrottle] = {}
+
+        #: Per-kind observed service-time tallies (diagnostics / tests).
+        self.op_times: Dict[OpKind, Tally] = {}
+        self.server_busy_count = 0
+        #: Injected outage windows: (service, partition-or-None) -> list of
+        #: (start, end).  ``partition=None`` takes the whole service down.
+        self._outages: Dict[tuple, list] = {}
+
+    # -- fault injection ---------------------------------------------------
+    def inject_outage(self, service: Service, start: float, duration: float,
+                      *, partition: Optional[str] = None) -> None:
+        """Schedule an availability outage.
+
+        Operations targeting the service (optionally one partition) during
+        ``[start, start+duration)`` fail with :class:`ServerBusyError` —
+        modelling the storage-stamp incidents the 2012 SLA covered.  The
+        paper's retry discipline (sleep 1 s, retry) rides through them.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        key = (service, partition)
+        self._outages.setdefault(key, []).append((start, start + duration))
+
+    def _check_outage(self, op: OpDescriptor) -> None:
+        now = self.env.now
+        for key in ((op.service, None), (op.service, op.partition)):
+            for start, end in self._outages.get(key, ()):  # few windows
+                if start <= now < end:
+                    self.server_busy_count += 1
+                    raise ServerBusyError(
+                        f"{op.service.value} unavailable (injected outage)",
+                        retry_after=self.cal.throttle_retry_after_s,
+                    )
+
+    # -- throttles ----------------------------------------------------------
+    def _queue_throttle(self, partition: str) -> SlidingWindowThrottle:
+        throttle = self._queue_throttles.get(partition)
+        if throttle is None:
+            throttle = SlidingWindowThrottle(
+                self.limits.queue_messages_per_second,
+                self.cal.throttle_window_s,
+                name=f"queue {partition!r} messages",
+                retry_after=self.cal.throttle_retry_after_s,
+            )
+            self._queue_throttles[partition] = throttle
+        return throttle
+
+    def _partition_throttle(self, partition: str) -> SlidingWindowThrottle:
+        throttle = self._partition_throttles.get(partition)
+        if throttle is None:
+            throttle = SlidingWindowThrottle(
+                self.limits.partition_entities_per_second,
+                self.cal.throttle_window_s,
+                name=f"table partition {partition!r} entities",
+                retry_after=self.cal.throttle_retry_after_s,
+            )
+            self._partition_throttles[partition] = throttle
+        return throttle
+
+    def _charge_throttles(self, op: OpDescriptor) -> None:
+        """Charge all applicable targets; raises ServerBusyError when over."""
+        now = self.env.now
+        if op.service is Service.CACHE:
+            # The caching service is billed and scaled separately from the
+            # storage account; its ops do not count against the 5,000 tx/s
+            # or 3 GB/s storage targets.
+            return
+        try:
+            self.account_tx_throttle.charge(now, op.units)
+            if op.nbytes:
+                self.account_bw_throttle.charge(now, op.nbytes)
+            if op.service is Service.QUEUE and op.kind in (
+                OpKind.PUT_MESSAGE, OpKind.GET_MESSAGE,
+                OpKind.PEEK_MESSAGE, OpKind.DELETE_MESSAGE,
+                OpKind.UPDATE_MESSAGE,
+            ):
+                self._queue_throttle(op.partition).charge(now, op.units)
+            elif op.service is Service.TABLE and op.kind in (
+                OpKind.INSERT_ENTITY, OpKind.QUERY_ENTITY,
+                OpKind.UPDATE_ENTITY, OpKind.MERGE_ENTITY,
+                OpKind.DELETE_ENTITY, OpKind.BATCH,
+            ):
+                self._partition_throttle(op.partition).charge(now, op.units)
+        except Exception:
+            self.server_busy_count += 1
+            raise
+
+    # -- cost model -------------------------------------------------------
+    def base_rtt(self, op: OpDescriptor) -> float:
+        """Client <-> front-end latency (not server occupancy)."""
+        cal = self.cal
+        if op.service is Service.BLOB:
+            return cal.blob_base_rtt
+        if op.service is Service.QUEUE:
+            return cal.queue_base_rtt
+        if op.service is Service.CACHE:
+            return cal.cache_base_rtt
+        return cal.table_base_rtt
+
+    def server_occupancy(self, op: OpDescriptor) -> float:
+        """Partition-server busy time of one operation."""
+        cal = self.cal
+        n = op.nbytes
+        kind = op.kind
+
+        if op.service is Service.BLOB:
+            if kind is OpKind.DOWNLOAD_BLOB:
+                return n * cal.blob_stream_read_s_per_byte
+            if kind is OpKind.GET_BLOCK:
+                return cal.blob_block_lookup_s + n * cal.blob_stream_read_s_per_byte
+            if kind is OpKind.GET_PAGE:
+                return cal.blob_page_seek_s + n * cal.blob_stream_read_s_per_byte
+            if kind in (OpKind.PUT_PAGE, OpKind.UPLOAD_BLOB):
+                return n * cal.blob_write_s_per_byte
+            if kind is OpKind.PUT_BLOCK:
+                return n * (cal.blob_write_s_per_byte
+                            + cal.blob_block_stage_s_per_byte)
+            if kind is OpKind.PUT_BLOCK_LIST:
+                return (cal.blob_commit_base_s
+                        + op.block_count * cal.blob_commit_per_block_s)
+            # container management / delete: metadata-only.
+            return cal.blob_commit_base_s
+
+        if op.service is Service.QUEUE:
+            if kind is OpKind.PUT_MESSAGE:
+                return cal.queue_put_sync_s + n * cal.queue_write_s_per_byte
+            if kind is OpKind.PEEK_MESSAGE:
+                return n * cal.queue_read_s_per_byte
+            if kind is OpKind.GET_MESSAGE:
+                t = (cal.queue_get_invisibility_s
+                     + n * cal.queue_read_s_per_byte)
+                if cal.queue_get_16k_anomaly_lo < n <= cal.queue_get_16k_anomaly_hi:
+                    t *= cal.queue_get_16k_anomaly_factor
+                return t
+            if kind is OpKind.DELETE_MESSAGE:
+                return cal.queue_delete_sync_s
+            if kind is OpKind.UPDATE_MESSAGE:
+                return cal.queue_put_sync_s + n * cal.queue_write_s_per_byte
+            if kind is OpKind.GET_MESSAGE_COUNT:
+                return 0.002
+            # create/delete queue: metadata-only.
+            return cal.queue_put_sync_s
+
+        if op.service is Service.CACHE:
+            if kind is OpKind.CACHE_GET:
+                return cal.cache_get_base_s + n * cal.cache_s_per_byte
+            if kind in (OpKind.CACHE_PUT, OpKind.CACHE_REMOVE):
+                return cal.cache_put_base_s + n * cal.cache_s_per_byte
+            return cal.cache_put_base_s  # create_cache: metadata-only
+
+        # TABLE
+        if kind is OpKind.QUERY_ENTITY:
+            return cal.table_query_base_s + n * cal.table_read_s_per_byte
+        if kind is OpKind.INSERT_ENTITY:
+            return cal.table_insert_base_s + n * cal.table_insert_s_per_byte
+        if kind in (OpKind.UPDATE_ENTITY, OpKind.MERGE_ENTITY):
+            return cal.table_update_base_s + n * cal.table_update_s_per_byte
+        if kind is OpKind.DELETE_ENTITY:
+            return cal.table_delete_base_s + n * cal.table_delete_s_per_byte
+        if kind is OpKind.BATCH:
+            # A batch is one round trip but pays per-entity insert costs.
+            return (cal.table_insert_base_s * max(1, op.units)
+                    + n * cal.table_insert_s_per_byte)
+        # create/delete table: metadata-only.
+        return cal.table_insert_base_s
+
+    def server_for(self, op: OpDescriptor) -> PartitionServer:
+        """The partition server handling this op (placement rules)."""
+        if op.service is Service.BLOB:
+            return self.blob_servers.server_for(op.partition)
+        if op.service is Service.QUEUE:
+            return self.queue_servers.server_for(op.partition)
+        if op.service is Service.CACHE:
+            return self.cache_servers.server_for(op.partition)
+        return self.table_servers.server_for(op.partition)
+
+    def _jitter(self) -> float:
+        sigma = self.cal.jitter_sigma
+        if sigma <= 0:
+            return 1.0
+        # Mean-one lognormal: E[exp(N(-s^2/2, s))] == 1.
+        return float(np.exp(self._rng.normal(-0.5 * sigma * sigma, sigma)))
+
+    # -- execution ---------------------------------------------------------
+    def execute(self, op: OpDescriptor) -> Iterator:
+        """Simkit process generator charging the timing of one operation.
+
+        Raises :class:`ServerBusyError` *before* consuming time if a
+        scalability target is exceeded; the caller is expected to back off
+        and retry, like the paper's worker roles.
+        """
+        self._check_outage(op)
+        self._charge_throttles(op)
+        rtt = self.base_rtt(op) * self._jitter()
+        occupancy = self.server_occupancy(op) * self._jitter()
+        server = self.server_for(op)
+        start = self.env.now
+        # Request leg of the round trip.
+        yield self.env.timeout(rtt / 2)
+        yield from server.serve(occupancy, op.nbytes)
+        # Response leg.
+        yield self.env.timeout(rtt / 2)
+        self.op_times.setdefault(op.kind, Tally(op.kind.value)).record(
+            self.env.now - start
+        )
+
+    # -- diagnostics ---------------------------------------------------------
+    def mean_op_time(self, kind: OpKind) -> Optional[float]:
+        tally = self.op_times.get(kind)
+        return tally.mean if tally is not None and tally.count else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<StorageCluster blobs={len(self.blob_servers)} "
+                f"queues={len(self.queue_servers)} "
+                f"tables={len(self.table_servers)}>")

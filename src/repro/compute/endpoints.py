@@ -1,0 +1,165 @@
+"""Inter-role TCP endpoints.
+
+The paper (Section III): "Azure platform also supports TCP endpoints that
+can be configured to facilitate an application to listen on an assigned TCP
+port for incoming requests.  TCP messages can be sent/received among Azure
+roles … these messages are not currently studied in this paper."
+
+This module supplies that substrate: role instances register named
+endpoints; peers connect and exchange messages over the simulated intra-DC
+network (per-message latency + per-byte bandwidth).  It lets applications
+compare direct role-to-role messaging against the queue-based communication
+the paper benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..simkit import Environment, Store
+
+__all__ = ["EndpointRegistry", "Endpoint", "EndpointError", "TcpMessage"]
+
+MB = 1024 * 1024
+
+
+class EndpointError(Exception):
+    """Endpoint registry failures (duplicate registration, unknown target)."""
+
+
+@dataclass(frozen=True)
+class TcpMessage:
+    """One delivered message: payload plus sender identification."""
+
+    source: str
+    payload: bytes
+    sent_at: float
+    delivered_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class Endpoint:
+    """One role instance's listening endpoint (an inbox of messages)."""
+
+    def __init__(self, registry: "EndpointRegistry", name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self._inbox: Store = Store(registry.env)
+
+    def recv(self):
+        """Process generator: wait for and return the next TcpMessage."""
+        message = yield self._inbox.get()
+        return message
+
+    def try_recv(self) -> Optional[TcpMessage]:
+        """Non-blocking poll of the inbox."""
+        if self._inbox.items:
+            return self._inbox.items.pop(0)
+        return None
+
+    @property
+    def pending(self) -> int:
+        return len(self._inbox.items)
+
+    def close(self) -> None:
+        self._registry.unregister(self.name)
+
+
+class EndpointRegistry:
+    """Name service + network model for intra-deployment TCP messaging.
+
+    One registry per deployment/fabric; the network model charges the
+    *sender* a serialization delay (payload/bandwidth) and delivers after a
+    propagation latency, so sends overlap like real sockets. ::
+
+        registry = EndpointRegistry(env)
+        inbox = registry.register("worker-3")
+        ...
+        yield from registry.send("worker-0", "worker-3", b"data")
+        msg = yield from inbox.recv()
+    """
+
+    def __init__(self, env: Environment, *, latency_s: float = 0.0008,
+                 bandwidth_bytes_per_s: float = 100 * MB,
+                 jitter_sigma: float = 0.1, seed: int = 0) -> None:
+        if latency_s < 0 or bandwidth_bytes_per_s <= 0:
+            raise ValueError("bad network parameters")
+        self.env = env
+        self.latency_s = latency_s
+        self.bandwidth = bandwidth_bytes_per_s
+        self._rng = np.random.default_rng(seed)
+        self.jitter_sigma = jitter_sigma
+        self._endpoints: Dict[str, Endpoint] = {}
+        #: Last scheduled delivery time per (source, target) pair: TCP is a
+        #: stream, so delivery order per connection must match send order
+        #: even when per-message latency draws would reorder them.
+        self._channel_clock: Dict[Tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- registration ---------------------------------------------------------
+    def register(self, name: str) -> Endpoint:
+        """Open a named endpoint; names must be unique while open."""
+        if name in self._endpoints:
+            raise EndpointError(f"endpoint {name!r} already registered")
+        endpoint = Endpoint(self, name)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def lookup(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise EndpointError(f"no endpoint {name!r} registered") from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._endpoints))
+
+    # -- messaging -----------------------------------------------------------
+    def _jitter(self) -> float:
+        if self.jitter_sigma <= 0:
+            return 1.0
+        s = self.jitter_sigma
+        return float(np.exp(self._rng.normal(-0.5 * s * s, s)))
+
+    def send(self, source: str, target: str, payload: bytes):
+        """Process generator: transmit ``payload`` from source to target.
+
+        The sender occupies its NIC for the serialization time; delivery to
+        the target's inbox happens one propagation latency later without
+        blocking the sender further.
+        """
+        endpoint = self.lookup(target)  # fail fast on unknown targets
+        payload = bytes(payload)
+        sent_at = self.env.now
+        serialize = len(payload) / self.bandwidth * self._jitter()
+        if serialize > 0:
+            yield self.env.timeout(serialize)
+        propagation = self.latency_s * self._jitter()
+        channel = (source, target)
+        deliver_at = max(self.env.now + propagation,
+                         self._channel_clock.get(channel, 0.0))
+        self._channel_clock[channel] = deliver_at
+        delay = deliver_at - self.env.now
+
+        def deliver():
+            yield self.env.timeout(delay)
+            # Endpoint may have closed while in flight; drop like a real
+            # socket would on RST.
+            if self._endpoints.get(target) is endpoint:
+                yield endpoint._inbox.put(TcpMessage(
+                    source=source, payload=payload,
+                    sent_at=sent_at, delivered_at=self.env.now))
+
+        self.env.process(deliver())
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)

@@ -1,0 +1,73 @@
+"""AzureBench: the benchmark suite itself (paper Section IV)."""
+
+from .blob_bench import (
+    PHASE_BLOCK_FULL_DOWNLOAD,
+    PHASE_BLOCK_SEQ_DOWNLOAD,
+    PHASE_BLOCK_UPLOAD,
+    PHASE_PAGE_FULL_DOWNLOAD,
+    PHASE_PAGE_RANDOM_DOWNLOAD,
+    PHASE_PAGE_UPLOAD,
+    BlobBenchConfig,
+    blob_bench_body,
+)
+from .metrics import BenchResult, PhaseRecord, PhaseRecorder, PhaseStats
+from .queue_bench import (
+    OP_GET,
+    OP_PEEK,
+    OP_PUT,
+    SeparateQueueBenchConfig,
+    SharedQueueBenchConfig,
+    phase_name,
+    separate_queue_bench_body,
+    shared_phase_name,
+    shared_queue_bench_body,
+)
+from .runner import RunConfig, run_bench, sweep_workers
+from .table_bench import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_QUERY,
+    OP_UPDATE,
+    TableBenchConfig,
+    table_bench_body,
+    table_phase_name,
+)
+
+__all__ = [
+    # metrics
+    "BenchResult",
+    "PhaseRecord",
+    "PhaseRecorder",
+    "PhaseStats",
+    # runner
+    "RunConfig",
+    "run_bench",
+    "sweep_workers",
+    # blob bench
+    "BlobBenchConfig",
+    "blob_bench_body",
+    "PHASE_PAGE_UPLOAD",
+    "PHASE_BLOCK_UPLOAD",
+    "PHASE_PAGE_RANDOM_DOWNLOAD",
+    "PHASE_BLOCK_SEQ_DOWNLOAD",
+    "PHASE_PAGE_FULL_DOWNLOAD",
+    "PHASE_BLOCK_FULL_DOWNLOAD",
+    # queue bench
+    "SeparateQueueBenchConfig",
+    "separate_queue_bench_body",
+    "SharedQueueBenchConfig",
+    "shared_queue_bench_body",
+    "phase_name",
+    "shared_phase_name",
+    "OP_PUT",
+    "OP_PEEK",
+    "OP_GET",
+    # table bench
+    "TableBenchConfig",
+    "table_bench_body",
+    "table_phase_name",
+    "OP_INSERT",
+    "OP_QUERY",
+    "OP_UPDATE",
+    "OP_DELETE",
+]

@@ -1,0 +1,73 @@
+"""Run an AzureBench worker body at a given scale and collect results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cluster.calibration import DEFAULT_CALIBRATION, FabricCalibration
+from ..compute import Deployment, SMALL, VMSize
+from ..sim import SimStorageAccount
+from ..simkit import Environment
+from ..storage import LIMITS_2012, ServiceLimits
+from .metrics import BenchResult, PhaseRecorder
+
+__all__ = ["RunConfig", "run_bench", "sweep_workers"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Environment of one benchmark run."""
+
+    workers: int = 4
+    vm_size: VMSize = SMALL
+    limits: ServiceLimits = LIMITS_2012
+    calibration: FabricCalibration = DEFAULT_CALIBRATION
+    seed: int = 0
+    #: Enables the non-FIFO queue model (seeded); None keeps strict FIFO.
+    fifo_jitter_seed: Optional[int] = None
+    label: str = ""
+
+
+def run_bench(body_factory: Callable[[], Callable], config: RunConfig) -> BenchResult:
+    """Deploy ``config.workers`` instances of the body and run to completion.
+
+    ``body_factory`` builds a fresh role body (bodies close over benchmark
+    configs); each instance must return its :class:`PhaseRecorder`.
+    """
+    env = Environment()
+    account = SimStorageAccount(
+        env, limits=config.limits, calibration=config.calibration,
+        seed=config.seed, fifo_jitter_seed=config.fifo_jitter_seed,
+    )
+    deployment = Deployment(
+        env, account, body_factory(),
+        instances=config.workers, vm_size=config.vm_size, name="azurebench",
+    )
+    recorders = deployment.run()
+    bad = [r for r in recorders if not isinstance(r, PhaseRecorder)]
+    if bad:
+        raise RuntimeError(
+            f"{len(bad)} worker(s) did not return a PhaseRecorder "
+            f"(first: {bad[0]!r}); check the role body for failures"
+        )
+    return BenchResult(config.workers, recorders, label=config.label)
+
+
+def sweep_workers(body_factory: Callable[[], Callable],
+                  worker_counts: Sequence[int],
+                  base_config: RunConfig = RunConfig()) -> Dict[int, BenchResult]:
+    """Run the same benchmark at several scales (the paper's x-axis)."""
+    results: Dict[int, BenchResult] = {}
+    for workers in worker_counts:
+        config = RunConfig(
+            workers=workers,
+            vm_size=base_config.vm_size,
+            limits=base_config.limits,
+            calibration=base_config.calibration,
+            seed=base_config.seed,
+            fifo_jitter_seed=base_config.fifo_jitter_seed,
+            label=f"{base_config.label}@{workers}",
+        )
+        results[workers] = run_bench(body_factory, config)
+    return results

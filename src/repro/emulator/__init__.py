@@ -1,0 +1,17 @@
+"""Thread-safe local storage emulator (the repo's Azurite equivalent)."""
+
+from .clients import (
+    EmulatorAccount,
+    EmulatorBlobClient,
+    EmulatorCacheClient,
+    EmulatorQueueClient,
+    EmulatorTableClient,
+)
+
+__all__ = [
+    "EmulatorAccount",
+    "EmulatorBlobClient",
+    "EmulatorQueueClient",
+    "EmulatorTableClient",
+    "EmulatorCacheClient",
+]

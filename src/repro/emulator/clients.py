@@ -1,0 +1,393 @@
+"""A thread-safe, in-process Azure storage emulator (Azurite-equivalent).
+
+Wraps the same data-plane state machines the simulator uses with a reentrant
+lock and a real (or injectable) clock, so multi-threaded application code —
+like the bag-of-tasks framework driven by ``threading`` workers — runs
+against semantics identical to the simulation.
+
+The client APIs mirror :mod:`repro.sim.clients` method-for-method, minus the
+``yield from`` (these are plain blocking calls). ::
+
+    account = EmulatorAccount()
+    queue = account.queue_client()
+    queue.create_queue("tasks")
+    queue.put_message("tasks", b"hello")
+    msg = queue.get_message("tasks")
+    queue.delete_message("tasks", msg.message_id, msg.pop_receipt)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping, Optional, Sequence
+
+from ..storage import (
+    Clock,
+    LIMITS_2012,
+    ServiceLimits,
+    StorageAccountState,
+    WallClock,
+    as_content,
+)
+from ..storage.cache import CacheServiceState
+from ..storage.table import BatchOperation
+
+__all__ = [
+    "EmulatorAccount",
+    "EmulatorBlobClient",
+    "EmulatorQueueClient",
+    "EmulatorTableClient",
+    "EmulatorCacheClient",
+]
+
+
+class EmulatorAccount:
+    """One emulated storage account shared by any number of threads."""
+
+    def __init__(self, name: str = "devstoreaccount1", *,
+                 limits: ServiceLimits = LIMITS_2012,
+                 clock: Optional[Clock] = None,
+                 latency: float = 0.0,
+                 fifo_jitter_seed: Optional[int] = None) -> None:
+        self.state = StorageAccountState(
+            name, clock if clock is not None else WallClock(), limits,
+            fifo_jitter_seed=fifo_jitter_seed,
+        )
+        self._lock = threading.RLock()
+        #: The co-located caching service (paper II.B).
+        self.cache_state = CacheServiceState(self.state.clock)
+        #: Artificial per-operation latency in seconds (0 disables); useful
+        #: to make race conditions and contention observable in examples.
+        self.latency = latency
+
+    def _op(self):
+        return self._lock
+
+    def _maybe_sleep(self) -> None:
+        if self.latency > 0:
+            time.sleep(self.latency)
+
+    def blob_client(self) -> "EmulatorBlobClient":
+        return EmulatorBlobClient(self)
+
+    def queue_client(self) -> "EmulatorQueueClient":
+        return EmulatorQueueClient(self)
+
+    def table_client(self) -> "EmulatorTableClient":
+        return EmulatorTableClient(self)
+
+    def cache_client(self) -> "EmulatorCacheClient":
+        return EmulatorCacheClient(self)
+
+
+class _EmulatorClientBase:
+    def __init__(self, account: EmulatorAccount) -> None:
+        self.account = account
+        self.state = account.state
+
+
+class EmulatorBlobClient(_EmulatorClientBase):
+    """Blocking blob client over the emulator."""
+
+    def create_container(self, name: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.create_container(name)
+
+    def delete_container(self, name: str) -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.blobs.delete_container(name)
+
+    def put_block(self, container: str, blob: str, block_id: str, data) -> None:
+        content = as_content(data)
+        self.account._maybe_sleep()
+        with self.account._op():
+            c = self.state.blobs.get_container(container)
+            if blob not in c:
+                c.create_block_blob(blob)
+            c.get_block_blob(blob).put_block(block_id, content)
+
+    def put_block_list(self, container: str, blob: str,
+                       block_ids: Sequence[str], *, merge: bool = False) -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            c = self.state.blobs.get_container(container)
+            c.get_block_blob(blob).put_block_list(block_ids, merge=merge)
+
+    def upload_blob(self, container: str, blob: str, data) -> None:
+        content = as_content(data)
+        self.account._maybe_sleep()
+        with self.account._op():
+            c = self.state.blobs.get_container(container)
+            if blob not in c:
+                c.create_block_blob(blob)
+            c.get_block_blob(blob).upload(content)
+
+    def get_block(self, container: str, blob: str, index: int):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .get_block_blob(blob).get_block(index)
+
+    def download_block_blob(self, container: str, blob: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .get_block_blob(blob).download()
+
+    def block_count(self, container: str, blob: str) -> int:
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .get_block_blob(blob).block_count
+
+    def create_page_blob(self, container: str, blob: str, max_size: int):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .create_page_blob(blob, max_size)
+
+    def put_page(self, container: str, blob: str, offset: int, data) -> None:
+        content = as_content(data)
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.blobs.get_container(container) \
+                .get_page_blob(blob).put_pages(offset, content)
+
+    def get_page(self, container: str, blob: str, offset: int, length: int):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .get_page_blob(blob).read(offset, length)
+
+    def download_page_blob(self, container: str, blob: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .get_page_blob(blob).read_all()
+
+    def delete_blob(self, container: str, blob: str, *,
+                    lease_id=None, delete_snapshots: bool = False) -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.blobs.get_container(container).delete_blob(
+                blob, lease_id=lease_id, delete_snapshots=delete_snapshots)
+
+    def acquire_lease(self, container: str, blob: str) -> str:
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .get_blob(blob).acquire_lease()
+
+    def renew_lease(self, container: str, blob: str, lease_id: str) -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.blobs.get_container(container) \
+                .get_blob(blob).renew_lease(lease_id)
+
+    def release_lease(self, container: str, blob: str, lease_id: str) -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.blobs.get_container(container) \
+                .get_blob(blob).release_lease(lease_id)
+
+    def snapshot_blob(self, container: str, blob: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .get_blob(blob).snapshot()
+
+    def download_snapshot(self, container: str, blob: str, snapshot_id: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.blobs.get_container(container) \
+                .get_blob(blob).get_snapshot(snapshot_id).download()
+
+    def list_blobs(self, container: str, prefix: str = ""):
+        with self.account._op():
+            return self.state.blobs.get_container(container).list_blobs(prefix)
+
+
+class EmulatorQueueClient(_EmulatorClientBase):
+    """Blocking queue client over the emulator."""
+
+    def create_queue(self, name: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.queues.create_queue(name)
+
+    def delete_queue(self, name: str) -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.queues.delete_queue(name)
+
+    def put_message(self, queue: str, data, *, ttl: Optional[float] = None,
+                    visibility_delay: float = 0.0):
+        content = as_content(data)
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.queues.get_queue(queue).put_message(
+                content, ttl=ttl, visibility_delay=visibility_delay)
+
+    def get_message(self, queue: str, *,
+                    visibility_timeout: Optional[float] = None):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.queues.get_queue(queue).get_message(
+                visibility_timeout=visibility_timeout)
+
+    def get_messages(self, queue: str, n: int = 1, *,
+                     visibility_timeout: Optional[float] = None):
+        """Batch ``GetMessages``: up to 32 messages in one call."""
+        if not 1 <= n <= 32:
+            raise ValueError("n must be in 1..32 (2012 API limit)")
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.queues.get_queue(queue).get_messages(
+                n, visibility_timeout=visibility_timeout)
+
+    def peek_message(self, queue: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.queues.get_queue(queue).peek_message()
+
+    def delete_message(self, queue: str, message_id: str,
+                       pop_receipt: str) -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.queues.get_queue(queue).delete_message(
+                message_id, pop_receipt)
+
+    def update_message(self, queue: str, message_id: str, pop_receipt: str,
+                       data=None, *, visibility_timeout: float = 0.0):
+        content = as_content(data) if data is not None else None
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.queues.get_queue(queue).update_message(
+                message_id, pop_receipt, content,
+                visibility_timeout=visibility_timeout)
+
+    def get_message_count(self, queue: str) -> int:
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.queues.get_queue(queue).approximate_message_count()
+
+    def list_queues(self, prefix: str = ""):
+        with self.account._op():
+            return self.state.queues.list_queues(prefix)
+
+
+class EmulatorTableClient(_EmulatorClientBase):
+    """Blocking table client over the emulator."""
+
+    def create_table(self, name: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.create_table(name)
+
+    def delete_table(self, name: str) -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.tables.delete_table(name)
+
+    def insert(self, table: str, partition_key: str, row_key: str,
+               properties: Mapping[str, Any]):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).insert(
+                partition_key, row_key, properties)
+
+    def get(self, table: str, partition_key: str, row_key: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).get(
+                partition_key, row_key)
+
+    def query(self, table: str, filter=None, *, top: Optional[int] = None,
+              continuation=None, select=None):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).query(
+                filter, top=top, continuation=continuation, select=select)
+
+    def query_partition(self, table: str, partition_key: str, filter=None, *,
+                        select=None):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).query_partition(
+                partition_key, filter, select=select)
+
+    def insert_or_replace(self, table: str, partition_key: str, row_key: str,
+                          properties: Mapping[str, Any]):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).insert_or_replace(
+                partition_key, row_key, properties)
+
+    def insert_or_merge(self, table: str, partition_key: str, row_key: str,
+                        properties: Mapping[str, Any]):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).insert_or_merge(
+                partition_key, row_key, properties)
+
+    def update(self, table: str, partition_key: str, row_key: str,
+               properties: Mapping[str, Any], *, etag: Optional[str] = "*"):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).update(
+                partition_key, row_key, properties, etag=etag)
+
+    def merge(self, table: str, partition_key: str, row_key: str,
+              properties: Mapping[str, Any], *, etag: Optional[str] = "*"):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).merge(
+                partition_key, row_key, properties, etag=etag)
+
+    def delete(self, table: str, partition_key: str, row_key: str, *,
+               etag: Optional[str] = "*") -> None:
+        self.account._maybe_sleep()
+        with self.account._op():
+            self.state.tables.get_table(table).delete(
+                partition_key, row_key, etag=etag)
+
+    def execute_batch(self, table: str, operations: Sequence[BatchOperation]):
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.state.tables.get_table(table).execute_batch(operations)
+
+
+class EmulatorCacheClient(_EmulatorClientBase):
+    """Blocking caching-service client over the emulator."""
+
+    def create_cache(self, name: str, *, capacity_bytes: int = None,
+                     default_ttl: float = None):
+        self.account._maybe_sleep()
+        with self.account._op():
+            kwargs = {}
+            if capacity_bytes is not None:
+                kwargs["capacity_bytes"] = capacity_bytes
+            if default_ttl is not None:
+                kwargs["default_ttl"] = default_ttl
+            return self.account.cache_state.create_cache(name, **kwargs)
+
+    def put(self, cache: str, key: str, value, *, ttl: float = None,
+            sliding: bool = False):
+        content = as_content(value)
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.account.cache_state.get_cache(cache).put(
+                key, content, ttl=ttl, sliding=sliding)
+
+    def get(self, cache: str, key: str):
+        self.account._maybe_sleep()
+        with self.account._op():
+            item = self.account.cache_state.get_cache(cache).get(key)
+            return item.value if item is not None else None
+
+    def remove(self, cache: str, key: str) -> bool:
+        self.account._maybe_sleep()
+        with self.account._op():
+            return self.account.cache_state.get_cache(cache).remove(key)

@@ -1,0 +1,8 @@
+"""Generic application framework for Azure HPC apps (paper Section III)."""
+
+from .barrier import QueueBarrier
+from .taskpool import TaskPoolApp, TaskPoolConfig, TaskResult
+from .threaded import ThreadedTaskPool
+
+__all__ = ["QueueBarrier", "TaskPoolApp", "TaskPoolConfig", "TaskResult",
+           "ThreadedTaskPool"]

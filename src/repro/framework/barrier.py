@@ -1,0 +1,80 @@
+"""Queue-based barrier synchronization among worker roles (paper Algorithm 2).
+
+"There is no API in the Azure software development kit that provides a
+traditional barrier like functionality.  However, a queue can be used as a
+shared memory resource to implement explicit synchronization among multiple
+worker role instances."
+
+Protocol (the paper's trick): workers never delete their sync messages —
+deleting would race with workers still polling, while leaving them breaks
+the *next* barrier's count.  Instead each barrier crossing ``k`` waits for
+``workers * k`` accumulated messages: the messages of all previous phases
+stay in the queue and the ``sync_count`` accounts for them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["QueueBarrier"]
+
+
+class QueueBarrier:
+    """One worker's handle on a shared queue barrier.
+
+    Every participating worker builds its own :class:`QueueBarrier` over the
+    same queue name and calls ``yield from barrier.wait()`` at each
+    synchronization point.  ``workers`` must be identical across instances.
+
+    "since a large number of requests to get the message count can throttle
+    the queue, each worker sleeps for a second before issuing the next
+    request" — ``poll_interval`` defaults to that one second.
+    """
+
+    def __init__(self, queue_client, queue_name: str, workers: int, *,
+                 poll_interval: float = 1.0, env=None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._client = queue_client
+        self.queue_name = queue_name
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self._env = env if env is not None else queue_client.env
+        #: Completed synchronization phases (the paper's ``syncCount``).
+        self.sync_count = 0
+        #: Simulated seconds this worker has spent inside barriers.
+        self.time_in_barrier = 0.0
+
+    def ensure_queue(self):
+        """Create the barrier queue (any worker may call; idempotent)."""
+        yield from self._client.create_queue(self.queue_name)
+
+    def wait(self, sync_count: Optional[int] = None):
+        """Enter the barrier and block until all workers have arrived.
+
+        ``sync_count`` defaults to one past the internally tracked phase
+        (pass it explicitly to mirror the paper's ``Synchronize(++syncCount)``
+        call sites).  Returns the phase number that completed.
+        """
+        if sync_count is None:
+            sync_count = self.sync_count + 1
+        if sync_count <= self.sync_count:
+            raise ValueError(
+                f"sync_count {sync_count} already completed "
+                f"(at phase {self.sync_count})"
+            )
+        start = self._env.now
+        # Announce arrival. The message must outlive long barriers, so rely
+        # on the era's maximum TTL (7 days) rather than a custom one.
+        yield from self._client.put_message(
+            self.queue_name, f"sync-{sync_count}".encode()
+        )
+        target = self.workers * sync_count
+        while True:
+            arrived = yield from self._client.get_message_count(self.queue_name)
+            if arrived >= target:
+                break
+            yield self._env.timeout(self.poll_interval)
+        self.sync_count = sync_count
+        self.time_in_barrier += self._env.now - start
+        return sync_count

@@ -1,0 +1,156 @@
+"""The Section III task-pool protocol on real threads (emulator backend).
+
+The simulated framework (:mod:`repro.framework.taskpool`) proves the
+protocol's behaviour at scale; this module runs the *same protocol* —
+task-assignment queue, termination-indicator queue, stop queue, visibility
+timeouts — with ``threading`` workers against the thread-safe emulator, so
+applications can be developed and debugged locally exactly as they would
+run simulated.
+
+Handlers here are plain callables (no generators): ``handler(payload) ->
+bytes | None``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence
+
+from ..emulator import EmulatorAccount
+from ..storage.errors import MessageNotFoundError, ServerBusyError
+from .taskpool import TaskPoolConfig, TaskResult
+
+__all__ = ["ThreadedTaskPool"]
+
+
+class ThreadedTaskPool:
+    """Run a bag of tasks on worker threads over an emulator account. ::
+
+        pool = ThreadedTaskPool(account, TaskPoolConfig(name="app"),
+                                handler=lambda payload: payload.upper())
+        results = pool.run([b"a", b"b", b"c"], workers=4)
+    """
+
+    def __init__(self, account: EmulatorAccount, config: TaskPoolConfig,
+                 handler: Callable[[bytes], Optional[bytes]]) -> None:
+        self.account = account
+        self.config = config
+        self.handler = handler
+        self.results: List[TaskResult] = []
+        self._results_lock = threading.Lock()
+        self.processed_per_worker: List[int] = []
+
+    # -- plumbing ---------------------------------------------------------
+    def _setup(self) -> None:
+        qc = self.account.queue_client()
+        for i in range(self.config.task_queues):
+            qc.create_queue(self.config.task_queue_name(i))
+        qc.create_queue(self.config.termination_queue_name)
+        qc.create_queue(self.config.stop_queue_name)
+        if self.config.collect_results:
+            qc.create_queue(self.config.results_queue_name)
+        if self.config.max_dequeue_count is not None:
+            qc.create_queue(self.config.poison_queue_name)
+
+    @staticmethod
+    def _with_retry(fn):
+        while True:
+            try:
+                return fn()
+            except ServerBusyError as exc:
+                time.sleep(exc.retry_after)
+
+    # -- worker thread ---------------------------------------------------
+    def _worker(self, wid: int) -> None:
+        qc = self.account.queue_client()
+        config = self.config
+        processed = 0
+        queue_index = wid % config.task_queues
+        while True:
+            got_task = False
+            for attempt in range(config.task_queues):
+                queue = config.task_queue_name(
+                    (queue_index + attempt) % config.task_queues)
+                msg = self._with_retry(lambda q=queue: qc.get_message(
+                    q, visibility_timeout=config.visibility_timeout))
+                if msg is None:
+                    continue
+                got_task = True
+                cutoff = config.max_dequeue_count
+                if cutoff is not None and msg.dequeue_count > cutoff:
+                    self._with_retry(lambda m=msg: qc.put_message(
+                        config.poison_queue_name, m.content))
+                    self._with_retry(lambda: qc.put_message(
+                        config.termination_queue_name, b"poisoned"))
+                    self._with_retry(lambda q=queue, m=msg: qc.delete_message(
+                        q, m.message_id, m.pop_receipt))
+                    continue
+                result = self.handler(msg.content.to_bytes())
+                if config.collect_results and result is not None:
+                    self._with_retry(lambda r=result: qc.put_message(
+                        config.results_queue_name, r))
+                self._with_retry(lambda: qc.put_message(
+                    config.termination_queue_name, b"done"))
+                try:
+                    self._with_retry(lambda q=queue, m=msg: qc.delete_message(
+                        q, m.message_id, m.pop_receipt))
+                except MessageNotFoundError:
+                    pass  # re-delivered elsewhere; at-least-once
+                processed += 1
+                break
+            if not got_task:
+                stop = self._with_retry(lambda: qc.peek_message(
+                    config.stop_queue_name))
+                if stop is not None:
+                    break
+                time.sleep(config.idle_poll_interval)
+        with self._results_lock:
+            self.processed_per_worker.append(processed)
+
+    # -- driver ------------------------------------------------------------
+    def run(self, tasks: Sequence[bytes], *, workers: int = 4,
+            poll_interval: float = 0.05) -> List[TaskResult]:
+        """Submit tasks, run worker threads to completion, collect results."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._setup()
+        qc = self.account.queue_client()
+        config = self.config
+
+        threads = [threading.Thread(target=self._worker, args=(w,),
+                                    name=f"taskpool-worker-{w}")
+                   for w in range(workers)]
+        for t in threads:
+            t.start()
+
+        tasks = [bytes(t) for t in tasks]
+        for i, payload in enumerate(tasks):
+            queue = config.task_queue_name(i % config.task_queues)
+            self._with_retry(lambda q=queue, p=payload: qc.put_message(q, p))
+
+        # Web-role loop: poll the termination indicator.
+        while True:
+            done = self._with_retry(lambda: qc.get_message_count(
+                config.termination_queue_name))
+            if done >= len(tasks):
+                break
+            time.sleep(poll_interval)
+
+        if config.collect_results:
+            for _ in range(len(tasks)):
+                msg = self._with_retry(lambda: qc.get_message(
+                    config.results_queue_name,
+                    visibility_timeout=config.visibility_timeout))
+                if msg is None:
+                    break
+                with self._results_lock:
+                    self.results.append(TaskResult(msg.content.to_bytes()))
+                self._with_retry(lambda m=msg: qc.delete_message(
+                    config.results_queue_name, m.message_id, m.pop_receipt))
+
+        self._with_retry(lambda: qc.put_message(config.stop_queue_name,
+                                                b"stop"))
+        for t in threads:
+            t.join()
+        return list(self.results)

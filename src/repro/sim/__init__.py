@@ -1,0 +1,19 @@
+"""Simulated storage clients running on the DES fabric model."""
+
+from .clients import (
+    SimBlobClient,
+    SimCacheClient,
+    SimQueueClient,
+    SimStorageAccount,
+    SimTableClient,
+)
+from .retry import retrying
+
+__all__ = [
+    "SimStorageAccount",
+    "SimBlobClient",
+    "SimQueueClient",
+    "SimTableClient",
+    "SimCacheClient",
+    "retrying",
+]

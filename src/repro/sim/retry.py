@@ -1,0 +1,41 @@
+"""Back-off-and-retry helper for throttled operations.
+
+The paper (IV.C): "when we run into such exceptions, the worker sleeps for
+a second before retrying the same operation."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..simkit import Environment
+from ..storage.errors import ServerBusyError
+
+__all__ = ["retrying"]
+
+
+def retrying(env: Environment, op_factory: Callable[[], Iterator], *,
+             max_retries: Optional[int] = None,
+             on_retry: Optional[Callable[[int, ServerBusyError], None]] = None):
+    """Run a client-op generator, sleeping and retrying on ServerBusy.
+
+    ``op_factory`` must build a *fresh* generator per attempt (generators are
+    single-use).  Usage::
+
+        result = yield from retrying(env, lambda: table.insert(...))
+
+    ``max_retries=None`` retries forever (the paper's behaviour);
+    ``on_retry(attempt, exc)`` is invoked before each back-off sleep.
+    """
+    attempt = 0
+    while True:
+        try:
+            result = yield from op_factory()
+            return result
+        except ServerBusyError as exc:
+            attempt += 1
+            if max_retries is not None and attempt > max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            yield env.timeout(exc.retry_after)

@@ -1,0 +1,164 @@
+"""Simulation environment (event loop and clock) for :mod:`repro.simkit`."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout
+from .exceptions import EmptySchedule
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment"]
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    The environment owns the simulation clock (:attr:`now`) and the event
+    queue.  Events scheduled at the same time are processed in (priority,
+    insertion-order); this makes runs fully deterministic given the same
+    sequence of scheduling operations.
+
+    Example::
+
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(3)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 3 and proc.value == "done"
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+        #: Optional hook ``f(time, event)`` invoked as each event is
+        #: processed — tracing/debugging only, must not mutate the schedule.
+        self.tracer = None
+        self.events_processed = 0
+
+    # -- clock & scheduling --------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Queue ``event`` to be processed after ``delay`` time units."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` if no events remain.  Re-raises the
+        exception of a failed event that nobody defused (i.e. no process or
+        condition took delivery of the failure).
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self.events_processed += 1
+        if self.tracer is not None:
+            self.tracer(self._now, event)
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise RuntimeError(exc)  # pragma: no cover - defensive
+
+    def run(self, until: Any = None) -> Any:
+        """Run until the queue empties, time ``until`` passes, or an event fires.
+
+        * ``until is None`` — run until no events remain.
+        * ``until`` is a number — run until the clock reaches it (the clock is
+          set exactly to ``until`` on return).
+        * ``until`` is an :class:`Event` — run until it is processed and
+          return its value (re-raising its exception on failure).
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                return None
+
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                # Already processed.
+                if until._ok:
+                    return until._value
+                raise until._value
+            stop = [False]
+            until.callbacks.append(lambda _evt: stop.__setitem__(0, True))
+            while not stop[0]:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        f"no scheduled events left but {until!r} was not triggered"
+                    ) from None
+            if until._ok:
+                return until._value
+            # The stop callback took delivery of the failure.
+            until._defused = True
+            raise until._value
+
+        # Numeric horizon.
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until ({horizon}) must not be before now ({self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start a new :class:`Process` from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

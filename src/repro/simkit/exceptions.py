@@ -1,0 +1,39 @@
+"""Exceptions used by the :mod:`repro.simkit` discrete-event kernel."""
+
+from __future__ import annotations
+
+
+class SimkitError(Exception):
+    """Base class for all simkit errors."""
+
+
+class EmptySchedule(SimkitError):
+    """Raised by :meth:`Environment.step` when no more events are queued."""
+
+
+class StopProcess(SimkitError):
+    """Raised internally to terminate a process early with a return value."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(SimkitError):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The interrupting party may attach an arbitrary ``cause`` describing why
+    the process was interrupted (e.g. a preempting request, a simulated
+    machine failure).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The cause passed to :meth:`Process.interrupt`, or ``None``."""
+        return self.args[0]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt({self.cause!r})"

@@ -1,0 +1,165 @@
+"""Lightweight measurement helpers for simulations.
+
+These utilities collect time-stamped samples inside a simulation run and
+aggregate them into the statistics the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TimeSeries", "Tally", "UtilizationMonitor"]
+
+
+@dataclass
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    name: str = ""
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def last(self) -> Tuple[float, float]:
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.times[-1], self.values[-1]
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Mean of the piecewise-constant signal defined by the samples."""
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        end = self.times[-1] if until is None else until
+        total = 0.0
+        span = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
+            dt = max(0.0, t_next - t)
+            total += v * dt
+            span += dt
+        if span == 0.0:
+            return self.values[-1]
+        return total / span
+
+
+class Tally:
+    """Streaming summary statistics (count/mean/variance/min/max).
+
+    Uses Welford's online algorithm, so it is stable for long runs.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def record(self, value: float) -> None:
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self._n < 2:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._n == 0:
+            raise ValueError(f"tally {self.name!r} is empty")
+        return self._max
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._n == 0:
+            return f"<Tally {self.name!r} empty>"
+        return f"<Tally {self.name!r} n={self._n} mean={self._mean:.6g}>"
+
+
+class UtilizationMonitor:
+    """Tracks busy time of a server-like entity between mark calls."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self._busy_since: Optional[float] = None
+        self._busy_total = 0.0
+        self._created = env.now
+
+    def mark_busy(self) -> None:
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+
+    def mark_idle(self) -> None:
+        if self._busy_since is not None:
+            self._busy_total += self.env.now - self._busy_since
+            self._busy_since = None
+
+    @property
+    def busy_time(self) -> float:
+        extra = 0.0
+        if self._busy_since is not None:
+            extra = self.env.now - self._busy_since
+        return self._busy_total + extra
+
+    @property
+    def utilization(self) -> float:
+        elapsed = self.env.now - self._created
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / elapsed

@@ -1,0 +1,157 @@
+"""Process abstraction for the :mod:`repro.simkit` kernel.
+
+A *process* wraps a Python generator.  The generator yields events; the
+process suspends until the yielded event fires and is resumed with the
+event's value (or the event's exception thrown into it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .events import Event, PENDING, URGENT
+from .exceptions import Interrupt, StopProcess
+
+__all__ = ["Process", "ProcessGenerator"]
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class _Initialize(Event):
+    """Immediate event that starts the execution of a process."""
+
+    __slots__ = ()
+
+    def __init__(self, env, process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, priority=URGENT)
+
+
+class _Interruption(Event):
+    """Immediate event that throws an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        if process._value is not PENDING:
+            raise RuntimeError(f"{process!r} has terminated and cannot be interrupted")
+        if process is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.env.schedule(self, priority=URGENT)
+        self.callbacks.append(self._interrupt)
+
+    def _interrupt(self, event: Event) -> None:
+        if self.process._value is not PENDING:
+            # The process terminated between scheduling and delivery.
+            return
+        # Unsubscribe the process from the event it currently waits on; it
+        # will re-subscribe if it yields that event again.
+        target = self.process._target
+        if target is not None and target.callbacks is not None:
+            if self.process._resume in target.callbacks:
+                target.callbacks.remove(self.process._resume)
+        self.process._resume(self)
+
+
+class Process(Event):
+    """An event-yielding coroutine executing on an environment.
+
+    The process itself is an event that triggers when the generator returns
+    (successfully, with the generator's return value) or raises (failed with
+    that exception).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator: ProcessGenerator,
+                 name: Optional[str] = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise ValueError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = _Initialize(env, self)
+        self.name = name or getattr(generator, "__name__", "process")
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process currently waits for, if suspended."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True until the generator has terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_proc = self
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed: throw its exception into the
+                    # generator.  Mark it defused: the process took delivery.
+                    event._defused = True
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        next_event = self._generator.throw(exc)
+                    else:  # pragma: no cover - defensive
+                        next_event = self._generator.throw(RuntimeError(exc))
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except StopProcess as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self._defused = False
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                gen = self._generator
+                self._generator.close()
+                self._ok = False
+                self._value = RuntimeError(
+                    f"{gen!r} yielded {next_event!r}, expected an Event"
+                )
+                self._defused = False
+                env.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: continue immediately with its value.
+            event = next_event
+
+        env._active_proc = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process({self.name}) object at {id(self):#x} [{state}]>"

@@ -1,0 +1,142 @@
+"""The Windows Azure (2012) storage data planes: Blob, Queue, Table.
+
+This package contains backend-agnostic *state machines* implementing the
+semantics of the three storage services the paper benchmarks.  They are
+wrapped with timing/concurrency by:
+
+* :mod:`repro.sim` — simulated clients on the DES cluster model, and
+* :mod:`repro.emulator` — a thread-safe real-time local emulator.
+"""
+
+from .account import StorageAccountState
+from .blob import (
+    BlobProperties,
+    BlobServiceState,
+    BlockBlobState,
+    ContainerState,
+    PageBlobState,
+)
+from .clock import Clock, ManualClock, SimClock, WallClock
+from .content import (
+    BytesContent,
+    CompositeContent,
+    Content,
+    SyntheticContent,
+    ZeroContent,
+    as_content,
+    concat,
+    random_content,
+)
+from .errors import (
+    AccountCapacityExceededError,
+    BatchError,
+    BlobNotFoundError,
+    BlockNotFoundError,
+    BlockTooLargeError,
+    ContainerNotFoundError,
+    EntityNotFoundError,
+    EntityTooLargeError,
+    ETagMismatchError,
+    InvalidNameError,
+    InvalidOperationError,
+    InvalidPageRangeError,
+    LeaseConflictError,
+    MessageNotFoundError,
+    MessageTooLargeError,
+    OutOfRangeError,
+    PayloadTooLargeError,
+    PreconditionFailedError,
+    QueueNotFoundError,
+    ResourceExistsError,
+    ResourceNotFoundError,
+    ServerBusyError,
+    StorageError,
+    TableNotFoundError,
+    TooManyBlocksError,
+    TooManyPropertiesError,
+)
+from .etag import WILDCARD_ETAG
+from .limits import GB, KB, LIMITS_2010, LIMITS_2012, MB, TB, ServiceLimits
+from .queue import QueueMessage, QueueServiceState, QueueState
+from .table import (
+    BatchOperation,
+    Entity,
+    QueryResult,
+    TableServiceState,
+    TableState,
+    entity_size,
+    parse_filter,
+)
+
+__all__ = [
+    # account & limits
+    "StorageAccountState",
+    "ServiceLimits",
+    "LIMITS_2012",
+    "LIMITS_2010",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    # clocks
+    "Clock",
+    "WallClock",
+    "ManualClock",
+    "SimClock",
+    # content
+    "Content",
+    "BytesContent",
+    "SyntheticContent",
+    "CompositeContent",
+    "ZeroContent",
+    "as_content",
+    "concat",
+    "random_content",
+    # blob
+    "BlobServiceState",
+    "ContainerState",
+    "BlockBlobState",
+    "PageBlobState",
+    "BlobProperties",
+    # queue
+    "QueueServiceState",
+    "QueueState",
+    "QueueMessage",
+    # table
+    "TableServiceState",
+    "TableState",
+    "Entity",
+    "entity_size",
+    "QueryResult",
+    "BatchOperation",
+    "parse_filter",
+    # etag
+    "WILDCARD_ETAG",
+    # errors
+    "StorageError",
+    "ServerBusyError",
+    "ResourceNotFoundError",
+    "ContainerNotFoundError",
+    "BlobNotFoundError",
+    "QueueNotFoundError",
+    "TableNotFoundError",
+    "EntityNotFoundError",
+    "MessageNotFoundError",
+    "ResourceExistsError",
+    "PreconditionFailedError",
+    "ETagMismatchError",
+    "InvalidNameError",
+    "InvalidOperationError",
+    "PayloadTooLargeError",
+    "MessageTooLargeError",
+    "EntityTooLargeError",
+    "BlockTooLargeError",
+    "TooManyBlocksError",
+    "TooManyPropertiesError",
+    "InvalidPageRangeError",
+    "BlockNotFoundError",
+    "OutOfRangeError",
+    "LeaseConflictError",
+    "AccountCapacityExceededError",
+    "BatchError",
+]

@@ -1,0 +1,69 @@
+"""A storage account: the unit of capacity and scalability targets.
+
+One account owns a blob service, a queue service and a table service and
+tracks total stored bytes against the 100 TB account limit the paper quotes.
+The account is purely the *data plane*; throttling against the per-second
+scalability targets (5,000 tx/s, 3 GB/s, …) is enforced by the cluster
+model (:mod:`repro.cluster`) which wraps these state machines with timing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .blob import BlobServiceState
+from .clock import Clock, ManualClock
+from .errors import AccountCapacityExceededError
+from .limits import LIMITS_2012, ServiceLimits
+from .naming import validate_account_name
+from .queue import QueueServiceState
+from .table import TableServiceState
+
+__all__ = ["StorageAccountState"]
+
+
+class StorageAccountState:
+    """Data-plane state of one storage account (blob + queue + table)."""
+
+    def __init__(self, name: str, clock: Optional[Clock] = None,
+                 limits: ServiceLimits = LIMITS_2012, *,
+                 fifo_jitter_seed: Optional[int] = None) -> None:
+        self.name = validate_account_name(name)
+        self.clock: Clock = clock if clock is not None else ManualClock()
+        self.limits = limits
+        self._bytes_used = 0
+        self.blobs = BlobServiceState(self.clock, limits, account=self)
+        self.queues = QueueServiceState(
+            self.clock, limits, account=self, fifo_jitter_seed=fifo_jitter_seed
+        )
+        self.tables = TableServiceState(self.clock, limits, account=self)
+
+    # -- capacity accounting ------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        """Bytes currently stored across all three services."""
+        return self._bytes_used
+
+    def adjust_usage(self, delta: int) -> None:
+        """Apply a change in stored bytes, enforcing the account capacity.
+
+        Raises :class:`AccountCapacityExceededError` (and leaves usage
+        unchanged) if the new total would exceed the 100 TB account limit.
+        """
+        new_total = self._bytes_used + delta
+        if new_total > self.limits.account_capacity_bytes:
+            raise AccountCapacityExceededError(
+                f"account {self.name!r} would store {new_total} B, exceeding "
+                f"the {self.limits.account_capacity_bytes} B capacity"
+            )
+        self._bytes_used = max(0, new_total)
+
+    def recompute_usage(self) -> int:
+        """Recount stored bytes from the services (diagnostic/invariant)."""
+        return (self.blobs.total_bytes()
+                + self.queues.total_bytes()
+                + self.tables.total_bytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<StorageAccountState {self.name!r} "
+                f"bytes_used={self._bytes_used}>")

@@ -1,0 +1,223 @@
+"""Windows Azure Storage Analytics (August 2011), as instrumentation.
+
+Storage Analytics shipped right before the paper's measurement window: the
+service could log every request and aggregate hourly capacity/transaction
+metrics.  This module reproduces that shape as an opt-in observer over the
+simulated fabric — benchmark runs can be audited the way a 2012 operator
+would have audited them, and the metrics tables give the repo's own
+dashboards something faithful to read.
+
+* :class:`RequestLog` — the per-request log (operation, target, payload
+  size, end-to-end and server latency, HTTP-ish status).
+* :class:`MetricsAggregator` — hourly rollups per service and operation:
+  request counts, error counts, availability, average latencies, ingress
+  and egress bytes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "RequestRecord",
+    "RequestLog",
+    "HourlyMetrics",
+    "MetricsAggregator",
+    "attach_analytics",
+]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One logged storage request (one line of the 2011 $logs format)."""
+
+    time: float
+    service: str
+    operation: str
+    partition: str
+    nbytes: int
+    end_to_end_latency: float
+    server_latency: float
+    status_code: int
+    error_code: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status_code < 400
+
+    @property
+    def throttled(self) -> bool:
+        return self.status_code == 503
+
+
+class RequestLog:
+    """Append-only request log with simple query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: List[RequestRecord] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def append(self, record: RequestRecord) -> None:
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            # Like the real service's retention limit: oldest entries go.
+            self._records.pop(0)
+            self.dropped += 1
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(self, *, service: Optional[str] = None,
+                operation: Optional[str] = None,
+                since: float = float("-inf"),
+                until: float = float("inf")) -> List[RequestRecord]:
+        """Filtered view of the log."""
+        out = []
+        for r in self._records:
+            if service is not None and r.service != service:
+                continue
+            if operation is not None and r.operation != operation:
+                continue
+            if not (since <= r.time < until):
+                continue
+            out.append(r)
+        return out
+
+    def error_rate(self, **filters) -> float:
+        records = self.records(**filters)
+        if not records:
+            return 0.0
+        return sum(1 for r in records if not r.ok) / len(records)
+
+
+@dataclass
+class HourlyMetrics:
+    """One hour's rollup for one (service, operation) pair."""
+
+    hour: int
+    service: str
+    operation: str
+    total_requests: int = 0
+    total_errors: int = 0
+    total_throttles: int = 0
+    total_bytes: int = 0
+    _latency_sum: float = 0.0
+    _server_latency_sum: float = 0.0
+
+    def observe(self, record: RequestRecord) -> None:
+        self.total_requests += 1
+        if not record.ok:
+            self.total_errors += 1
+        if record.throttled:
+            self.total_throttles += 1
+        self.total_bytes += record.nbytes
+        self._latency_sum += record.end_to_end_latency
+        self._server_latency_sum += record.server_latency
+
+    @property
+    def availability(self) -> float:
+        if self.total_requests == 0:
+            return 1.0
+        return 1.0 - self.total_errors / self.total_requests
+
+    @property
+    def average_latency(self) -> float:
+        if self.total_requests == 0:
+            return 0.0
+        return self._latency_sum / self.total_requests
+
+    @property
+    def average_server_latency(self) -> float:
+        if self.total_requests == 0:
+            return 0.0
+        return self._server_latency_sum / self.total_requests
+
+
+class MetricsAggregator:
+    """Hourly metrics rollups keyed by (hour, service, operation)."""
+
+    def __init__(self, hour_seconds: float = 3600.0) -> None:
+        if hour_seconds <= 0:
+            raise ValueError("hour_seconds must be > 0")
+        self.hour_seconds = hour_seconds
+        self._cells: Dict[Tuple[int, str, str], HourlyMetrics] = {}
+
+    def observe(self, record: RequestRecord) -> None:
+        hour = int(record.time // self.hour_seconds)
+        for op_key in (record.operation, "*"):
+            key = (hour, record.service, op_key)
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = HourlyMetrics(hour, record.service, op_key)
+                self._cells[key] = cell
+            cell.observe(record)
+
+    def cell(self, hour: int, service: str,
+             operation: str = "*") -> Optional[HourlyMetrics]:
+        return self._cells.get((hour, service, operation))
+
+    def hours(self) -> List[int]:
+        return sorted({h for h, _, _ in self._cells})
+
+    def service_totals(self, service: str) -> HourlyMetrics:
+        """All-hours aggregate for one service."""
+        total = HourlyMetrics(-1, service, "*")
+        for (h, s, op), cell in self._cells.items():
+            if s == service and op == "*":
+                total.total_requests += cell.total_requests
+                total.total_errors += cell.total_errors
+                total.total_throttles += cell.total_throttles
+                total.total_bytes += cell.total_bytes
+                total._latency_sum += cell._latency_sum
+                total._server_latency_sum += cell._server_latency_sum
+        return total
+
+
+def attach_analytics(cluster, *, log: Optional[RequestLog] = None,
+                     metrics: Optional[MetricsAggregator] = None
+                     ) -> Tuple[RequestLog, MetricsAggregator]:
+    """Instrument a :class:`~repro.cluster.model.StorageCluster` in place.
+
+    Wraps ``cluster.execute`` so every operation (including throttle
+    rejections) is logged and aggregated.  Returns ``(log, metrics)``.
+    """
+    from ..storage.errors import StorageError
+
+    log = log if log is not None else RequestLog()
+    metrics = metrics if metrics is not None else MetricsAggregator()
+    inner_execute = cluster.execute
+
+    def observed_execute(op):
+        env = cluster.env
+        start = env.now
+        occupancy = cluster.server_occupancy(op)
+        try:
+            result = yield from inner_execute(op)
+        except StorageError as exc:
+            record = RequestRecord(
+                time=start, service=op.service.value, operation=op.kind.value,
+                partition=op.partition, nbytes=op.nbytes,
+                end_to_end_latency=env.now - start, server_latency=0.0,
+                status_code=exc.status_code, error_code=exc.error_code,
+            )
+            log.append(record)
+            metrics.observe(record)
+            raise
+        record = RequestRecord(
+            time=start, service=op.service.value, operation=op.kind.value,
+            partition=op.partition, nbytes=op.nbytes,
+            end_to_end_latency=env.now - start, server_latency=occupancy,
+            status_code=201 if op.is_write else 200,
+        )
+        log.append(record)
+        metrics.observe(record)
+        return result
+
+    cluster.execute = observed_execute
+    return log, metrics

@@ -1,0 +1,228 @@
+"""Shared Access Signatures (SAS), 2012-era blob flavour.
+
+Azure's 2012 answer to delegated access: the account owner HMAC-signs a
+*string-to-sign* naming a resource, a permission set and a validity window;
+the bearer presents the signature with its query parameters and the service
+recomputes and compares.  No token state is stored server-side — revocation
+happens by rotating the account key.
+
+This module reproduces that protocol:
+
+* :class:`AccountKey` — a named base64 secret (accounts had ``key1``/``key2``
+  to allow rotation);
+* :func:`generate_sas` — build a signed :class:`SasToken` for a container
+  or blob with permissions from ``rwdl`` and a validity window;
+* :meth:`SasToken.authorize` — server-side validation: signature, window,
+  resource scope (a container token covers its blobs), permission.
+
+:class:`AuthorizedBlobClient` wraps an emulator blob client and enforces a
+token on every call — the integration point application code would use.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import StorageError
+
+__all__ = [
+    "AccountKey",
+    "SasToken",
+    "SasError",
+    "generate_sas",
+    "AuthorizedBlobClient",
+    "PERMISSION_ORDER",
+]
+
+#: Canonical permission order of the 2012 SAS format.
+PERMISSION_ORDER = "rwdl"  # read, write, delete, list
+
+_API_VERSION = "2012-02-12"
+
+
+class SasError(StorageError):
+    """Authentication/authorization failure (403)."""
+
+    status_code = 403
+    error_code = "AuthenticationFailed"
+
+
+@dataclass(frozen=True)
+class AccountKey:
+    """One of a storage account's two signing keys."""
+
+    account: str
+    name: str
+    secret: bytes
+
+    @staticmethod
+    def generate(account: str, name: str = "key1") -> "AccountKey":
+        return AccountKey(account, name, secrets.token_bytes(32))
+
+    @property
+    def base64(self) -> str:
+        return base64.b64encode(self.secret).decode()
+
+
+def _canonical_resource(account: str, container: str,
+                        blob: Optional[str]) -> str:
+    path = f"/{account}/{container}"
+    if blob:
+        path += f"/{blob}"
+    return path
+
+
+def _string_to_sign(permissions: str, start: float, expiry: float,
+                    resource: str) -> bytes:
+    return "\n".join([
+        permissions,
+        f"{start:.3f}",
+        f"{expiry:.3f}",
+        resource,
+        _API_VERSION,
+    ]).encode()
+
+
+def _sign(key: AccountKey, message: bytes) -> str:
+    digest = hmac.new(key.secret, message, hashlib.sha256).digest()
+    return base64.b64encode(digest).decode()
+
+
+@dataclass(frozen=True)
+class SasToken:
+    """A signed grant: resource scope + permissions + validity window."""
+
+    account: str
+    container: str
+    blob: Optional[str]       # None -> whole-container token
+    permissions: str
+    start: float
+    expiry: float
+    signature: str
+    key_name: str
+
+    # -- validation -----------------------------------------------------
+    def _covers_resource(self, container: str, blob: Optional[str]) -> bool:
+        if container != self.container:
+            return False
+        if self.blob is None:
+            return True  # container scope covers every blob in it
+        return blob == self.blob
+
+    def authorize(self, key: AccountKey, *, container: str,
+                  blob: Optional[str], permission: str, now: float) -> None:
+        """Raise :class:`SasError` unless this token allows the access.
+
+        ``permission`` is one of ``r``/``w``/``d``/``l``.  The service
+        recomputes the signature with its copy of the key, so a tampered
+        token (permissions, window, or scope) fails closed.
+        """
+        if key.account != self.account or key.name != self.key_name:
+            raise SasError("token signed with an unknown key")
+        expected = _sign(key, _string_to_sign(
+            self.permissions, self.start, self.expiry,
+            _canonical_resource(self.account, self.container, self.blob)))
+        if not hmac.compare_digest(expected, self.signature):
+            raise SasError("signature mismatch")
+        if not (self.start <= now < self.expiry):
+            raise SasError(
+                f"token valid [{self.start:.3f}, {self.expiry:.3f}), now {now:.3f}")
+        if not self._covers_resource(container, blob):
+            raise SasError(
+                f"token scoped to {self.container!r}/{self.blob or '*'} does "
+                f"not cover {container!r}/{blob or '*'}")
+        if permission not in self.permissions:
+            raise SasError(
+                f"permission {permission!r} not in granted {self.permissions!r}")
+
+
+def generate_sas(key: AccountKey, *, container: str,
+                 blob: Optional[str] = None, permissions: str,
+                 start: float, expiry: float) -> SasToken:
+    """Sign a SAS token with an account key.
+
+    ``permissions`` must be a subset of ``rwdl`` in canonical order.
+    """
+    if not permissions:
+        raise ValueError("permissions must not be empty")
+    filtered = "".join(p for p in PERMISSION_ORDER if p in permissions)
+    if filtered != permissions:
+        raise ValueError(
+            f"permissions {permissions!r} must be a subset of "
+            f"{PERMISSION_ORDER!r} in canonical order")
+    if expiry <= start:
+        raise ValueError("expiry must be after start")
+    signature = _sign(key, _string_to_sign(
+        permissions, start, expiry,
+        _canonical_resource(key.account, container, blob)))
+    return SasToken(
+        account=key.account, container=container, blob=blob,
+        permissions=permissions, start=start, expiry=expiry,
+        signature=signature, key_name=key.name,
+    )
+
+
+class AuthorizedBlobClient:
+    """An emulator blob client gated by a SAS token.
+
+    Wraps :class:`repro.emulator.EmulatorBlobClient`; every call first
+    authorizes the token against the live clock, then delegates.  Only the
+    operations a 2012 blob SAS could grant are exposed.
+    """
+
+    def __init__(self, account, token: SasToken, key: AccountKey) -> None:
+        self._account = account
+        self._inner = account.blob_client()
+        self._token = token
+        self._key = key
+
+    def _authorize(self, container: str, blob: Optional[str],
+                   permission: str) -> None:
+        self._token.authorize(
+            self._key, container=container, blob=blob,
+            permission=permission, now=self._account.state.clock.now())
+
+    # -- reads ---------------------------------------------------------------
+    def download_block_blob(self, container: str, blob: str):
+        self._authorize(container, blob, "r")
+        return self._inner.download_block_blob(container, blob)
+
+    def get_block(self, container: str, blob: str, index: int):
+        self._authorize(container, blob, "r")
+        return self._inner.get_block(container, blob, index)
+
+    def get_page(self, container: str, blob: str, offset: int, length: int):
+        self._authorize(container, blob, "r")
+        return self._inner.get_page(container, blob, offset, length)
+
+    def list_blobs(self, container: str, prefix: str = ""):
+        self._authorize(container, None, "l")
+        return self._inner.list_blobs(container, prefix)
+
+    # -- writes --------------------------------------------------------------
+    def put_block(self, container: str, blob: str, block_id: str, data):
+        self._authorize(container, blob, "w")
+        self._inner.put_block(container, blob, block_id, data)
+
+    def put_block_list(self, container: str, blob: str, block_ids, *,
+                       merge: bool = False):
+        self._authorize(container, blob, "w")
+        self._inner.put_block_list(container, blob, block_ids, merge=merge)
+
+    def upload_blob(self, container: str, blob: str, data):
+        self._authorize(container, blob, "w")
+        self._inner.upload_blob(container, blob, data)
+
+    def put_page(self, container: str, blob: str, offset: int, data):
+        self._authorize(container, blob, "w")
+        self._inner.put_page(container, blob, offset, data)
+
+    # -- deletes -------------------------------------------------------------
+    def delete_blob(self, container: str, blob: str):
+        self._authorize(container, blob, "d")
+        self._inner.delete_blob(container, blob)

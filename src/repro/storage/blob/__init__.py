@@ -1,0 +1,19 @@
+"""Blob service data plane (block blobs, page blobs, containers)."""
+
+from .state import (
+    BlobProperties,
+    BlobServiceState,
+    BlobSnapshot,
+    BlockBlobState,
+    ContainerState,
+    PageBlobState,
+)
+
+__all__ = [
+    "BlobServiceState",
+    "ContainerState",
+    "BlockBlobState",
+    "PageBlobState",
+    "BlobProperties",
+    "BlobSnapshot",
+]

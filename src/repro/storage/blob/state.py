@@ -1,0 +1,667 @@
+"""Data plane of the Windows Azure Blob service (2012 semantics).
+
+Implements the state machines behind the REST operations the paper's
+Algorithm 1 exercises:
+
+* **Block blobs** — staged uploads via ``PutBlock`` + ``PutBlockList``
+  (blocks ≤ 4 MB, ≤ 50,000 blocks, blob ≤ 200 GB), single-shot upload for
+  blobs < 64 MB, per-block and whole-blob reads.
+* **Page blobs** — fixed maximum size (≤ 1 TB), 512-byte-aligned random
+  writes of ≤ 4 MB per operation, reads of arbitrary aligned ranges with
+  unwritten ranges returning zeros.
+
+The module is timing-free: the simulator (:mod:`repro.sim`) and the local
+emulator (:mod:`repro.emulator`) wrap these state machines with their own
+concurrency and latency models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..clock import Clock
+from ..content import (
+    BytesContent,
+    CompositeContent,
+    Content,
+    ZeroContent,
+    as_content,
+    concat,
+)
+from ..errors import (
+    BlobNotFoundError,
+    BlockNotFoundError,
+    BlockTooLargeError,
+    ContainerNotFoundError,
+    InvalidOperationError,
+    InvalidPageRangeError,
+    LeaseConflictError,
+    OutOfRangeError,
+    PayloadTooLargeError,
+    ResourceExistsError,
+    TooManyBlocksError,
+)
+from ..etag import ETagFactory
+from ..limits import LIMITS_2012, ServiceLimits
+from ..naming import validate_blob_name, validate_container_name
+
+__all__ = [
+    "BlobServiceState",
+    "ContainerState",
+    "BlockBlobState",
+    "PageBlobState",
+    "BlobProperties",
+    "BlobSnapshot",
+]
+
+
+@dataclass
+class BlobProperties:
+    """Metadata snapshot returned by get-properties style calls."""
+
+    name: str
+    container: str
+    blob_type: str
+    size: int
+    etag: str
+    last_modified: float
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BlobSnapshot:
+    """An immutable point-in-time copy of a blob's content."""
+
+    name: str
+    container: str
+    blob_type: str
+    snapshot_id: str
+    taken_at: float
+    etag: str
+    content: Content
+
+    @property
+    def size(self) -> int:
+        return self.content.size
+
+    def download(self) -> Content:
+        """Read the whole snapshot."""
+        return self.content
+
+    def read_range(self, offset: int, length: int) -> Content:
+        if length < 0 or offset < 0 or offset + length > self.content.size:
+            raise OutOfRangeError(
+                f"range [{offset}, {offset + length}) outside snapshot of "
+                f"{self.content.size} B"
+            )
+        return self.content.slice(offset, offset + length)
+
+
+class _BlobBase:
+    """State common to block and page blobs."""
+
+    blob_type = "unspecified"
+
+    #: Lease duration of the 2012 service: one minute, renewable.
+    LEASE_DURATION = 60.0
+
+    def __init__(self, service: "BlobServiceState", container: str, name: str) -> None:
+        self._service = service
+        self.container = container
+        self.name = validate_blob_name(name)
+        self.metadata: Dict[str, str] = {}
+        self.etag = service._etags.next()
+        self.last_modified = service._clock.now()
+        self._lease_id: Optional[str] = None
+        self._lease_expires = 0.0
+        #: Point-in-time snapshots keyed by snapshot id.
+        self.snapshots: Dict[str, "BlobSnapshot"] = {}
+
+    def _touch(self) -> None:
+        self.etag = self._service._etags.next()
+        self.last_modified = self._service._clock.now()
+
+    # -- leases (2012 blob leases: 1-minute exclusive write locks) --------
+    def _lease_active(self) -> bool:
+        return (self._lease_id is not None
+                and self._service._clock.now() < self._lease_expires)
+
+    def check_write_lease(self, lease_id: Optional[str]) -> None:
+        """Raise unless ``lease_id`` permits writing this blob now."""
+        if not self._lease_active():
+            return
+        if lease_id != self._lease_id:
+            raise LeaseConflictError(
+                f"blob {self.name!r} is leased; supply the lease id"
+            )
+
+    def acquire_lease(self) -> str:
+        """Take the exclusive write lease (fails while another is active)."""
+        if self._lease_active():
+            raise LeaseConflictError(
+                f"blob {self.name!r} already has an active lease"
+            )
+        self._lease_id = f"lease-{self._service._etags.next()}"
+        self._lease_expires = self._service._clock.now() + self.LEASE_DURATION
+        return self._lease_id
+
+    def renew_lease(self, lease_id: str) -> None:
+        """Extend a held lease by another lease duration."""
+        if self._lease_id != lease_id:
+            raise LeaseConflictError("lease id mismatch on renew")
+        self._lease_expires = self._service._clock.now() + self.LEASE_DURATION
+
+    def release_lease(self, lease_id: str) -> None:
+        """Release a held lease (id must match)."""
+        if self._lease_id != lease_id or not self._lease_active():
+            raise LeaseConflictError("lease id mismatch on release")
+        self._lease_id = None
+        self._lease_expires = 0.0
+
+    def break_lease(self) -> None:
+        """Forcibly end any lease (admin path; always succeeds)."""
+        self._lease_id = None
+        self._lease_expires = 0.0
+
+    @property
+    def lease_state(self) -> str:
+        return "leased" if self._lease_active() else "available"
+
+    # -- metadata (user-defined name/value pairs) ---------------------------
+    def set_metadata(self, metadata: Dict[str, str], *,
+                     lease_id: Optional[str] = None) -> None:
+        """Replace the blob's user metadata (``SetBlobMetadata``)."""
+        self.check_write_lease(lease_id)
+        for name, value in metadata.items():
+            if not isinstance(name, str) or not isinstance(value, str):
+                raise InvalidOperationError(
+                    "metadata names and values must be strings")
+            if not name or not name[0].isalpha():
+                raise InvalidOperationError(
+                    f"metadata name {name!r} must start with a letter")
+        self.metadata = dict(metadata)
+        self._touch()
+
+    # -- snapshots (2012 feature: immutable point-in-time copies) ---------
+    def _content_view(self) -> Content:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def snapshot(self) -> "BlobSnapshot":
+        """Take an immutable point-in-time snapshot of the blob.
+
+        Snapshots are keyed by their (unique) creation timestamp string.
+        Simplification documented in DESIGN.md: snapshot bytes are not
+        charged against account capacity (the real service billed only
+        unique blocks).
+        """
+        taken_at = self._service._clock.now()
+        snapshot_id = f"{taken_at:.7f}-{len(self.snapshots)}"
+        snap = BlobSnapshot(
+            name=self.name, container=self.container,
+            blob_type=self.blob_type, snapshot_id=snapshot_id,
+            taken_at=taken_at, etag=self.etag,
+            content=self._content_view(),
+        )
+        self.snapshots[snapshot_id] = snap
+        return snap
+
+    def get_snapshot(self, snapshot_id: str) -> "BlobSnapshot":
+        try:
+            return self.snapshots[snapshot_id]
+        except KeyError:
+            raise BlobNotFoundError(
+                f"blob {self.name!r} has no snapshot {snapshot_id!r}"
+            ) from None
+
+    def delete_snapshot(self, snapshot_id: str) -> None:
+        self.get_snapshot(snapshot_id)
+        del self.snapshots[snapshot_id]
+
+    def list_snapshots(self) -> List["BlobSnapshot"]:
+        return [self.snapshots[k] for k in sorted(self.snapshots)]
+
+    @property
+    def size(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def properties(self) -> BlobProperties:
+        """Current properties snapshot."""
+        return BlobProperties(
+            name=self.name,
+            container=self.container,
+            blob_type=self.blob_type,
+            size=self.size,
+            etag=self.etag,
+            last_modified=self.last_modified,
+            metadata=dict(self.metadata),
+        )
+
+    def partition_key(self) -> str:
+        """Blobs are partitioned on container name + blob name (paper IV.A)."""
+        return f"{self.container}/{self.name}"
+
+
+class BlockBlobState(_BlobBase):
+    """A block blob: an ordered list of committed blocks.
+
+    The two-phase commit protocol matches the 2012 API: blocks are staged
+    with ``put_block`` into an *uncommitted* set, then an ordered
+    ``put_block_list`` atomically publishes a new committed block list.  IDs
+    may reference either staged blocks (latest wins) or blocks of the
+    currently committed list.
+    """
+
+    blob_type = "BlockBlob"
+
+    def __init__(self, service: "BlobServiceState", container: str, name: str) -> None:
+        super().__init__(service, container, name)
+        #: Ordered committed blocks: (block_id, content).
+        self._committed: List[Tuple[str, Content]] = []
+        #: Staged (uncommitted) blocks by id.
+        self._uncommitted: Dict[str, Content] = {}
+        self._size = 0
+
+    # -- upload --------------------------------------------------------------
+    def put_block(self, block_id: str, data, *,
+                  lease_id: Optional[str] = None) -> None:
+        """Stage one block (``PutBlock``).  Blocks are ≤ 4 MB."""
+        self.check_write_lease(lease_id)
+        if not isinstance(block_id, str) or not 1 <= len(block_id) <= 64:
+            raise BlockNotFoundError(f"invalid block id {block_id!r}")
+        content = as_content(data)
+        limits = self._service.limits
+        if content.size > limits.max_block_bytes:
+            raise BlockTooLargeError(
+                f"block of {content.size} B exceeds {limits.max_block_bytes} B"
+            )
+        if content.size == 0:
+            raise InvalidOperationError("blocks must not be empty")
+        self._uncommitted[block_id] = content
+
+    def put_block_list(self, block_ids: Sequence[str], *,
+                       merge: bool = False,
+                       lease_id: Optional[str] = None) -> None:
+        """Atomically commit an ordered list of staged/committed blocks.
+
+        With ``merge=True`` the listed blocks are committed *on top of* the
+        current committed list (already-committed ids keep their position;
+        new ids are appended in the given order).  This is the multi-writer
+        commit discipline the paper's Algorithm 1 needs when many workers
+        build one shared blob — a plain commit would race: each worker's
+        snapshot of the committed list can go stale while its own commit is
+        in flight.
+        """
+        self.check_write_lease(lease_id)
+        limits = self._service.limits
+        if merge:
+            committed_ids = [bid for bid, _ in self._committed]
+            committed_set = set(committed_ids)
+            block_ids = committed_ids + [
+                bid for bid in block_ids if bid not in committed_set
+            ]
+        if len(block_ids) > limits.max_blocks_per_blob:
+            raise TooManyBlocksError(
+                f"{len(block_ids)} blocks exceed limit {limits.max_blocks_per_blob}"
+            )
+        committed_by_id = {bid: c for bid, c in self._committed}
+        new_list: List[Tuple[str, Content]] = []
+        total = 0
+        for bid in block_ids:
+            if bid in self._uncommitted:
+                content = self._uncommitted[bid]
+            elif bid in committed_by_id:
+                content = committed_by_id[bid]
+            else:
+                raise BlockNotFoundError(f"block id {bid!r} not found")
+            total += content.size
+            new_list.append((bid, content))
+        if total > limits.max_block_blob_bytes:
+            raise PayloadTooLargeError(
+                f"blob of {total} B exceeds {limits.max_block_blob_bytes} B"
+            )
+        self._service._account_delta(total - self._size)
+        self._committed = new_list
+        self._size = total
+        # Deviation from the 2012 service, documented in DESIGN.md: only the
+        # *referenced* staged blocks are consumed.  The real service pruned
+        # every unreferenced uncommitted block on commit, which makes the
+        # paper's Algorithm 1 (many workers staging blocks into one shared
+        # blob, each committing its own list) racy; keeping unreferenced
+        # staged blocks makes concurrent multi-writer commits well defined
+        # while preserving the commit cost model.
+        for bid, _ in new_list:
+            self._uncommitted.pop(bid, None)
+        self._touch()
+
+    def upload(self, data, *, lease_id: Optional[str] = None) -> None:
+        """Single-shot upload (``PutBlob``), only for blobs < 64 MB."""
+        self.check_write_lease(lease_id)
+        content = as_content(data)
+        limits = self._service.limits
+        if content.size > limits.max_single_shot_blob_bytes:
+            raise PayloadTooLargeError(
+                f"single-shot upload of {content.size} B exceeds "
+                f"{limits.max_single_shot_blob_bytes} B; use put_block/put_block_list"
+            )
+        self._service._account_delta(content.size - self._size)
+        self._committed = [("", content)] if content.size else []
+        self._size = content.size
+        self._uncommitted.clear()
+        self._touch()
+
+    # -- read ----------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def block_count(self) -> int:
+        return len(self._committed)
+
+    def block_ids(self, committed: bool = True) -> List[str]:
+        """IDs of committed (or staged) blocks, in order."""
+        if committed:
+            return [bid for bid, _ in self._committed]
+        return list(self._uncommitted)
+
+    def get_block(self, index: int) -> Content:
+        """Read the ``index``-th committed block (sequential block reads)."""
+        if not 0 <= index < len(self._committed):
+            raise OutOfRangeError(
+                f"block index {index} outside 0..{len(self._committed) - 1}"
+            )
+        return self._committed[index][1]
+
+    def get_block_by_id(self, block_id: str) -> Content:
+        """Read a committed block by its id."""
+        for bid, content in self._committed:
+            if bid == block_id:
+                return content
+        raise BlockNotFoundError(f"no committed block with id {block_id!r}")
+
+    def _content_view(self) -> Content:
+        return concat([c for _, c in self._committed])
+
+    def download(self) -> Content:
+        """Read the whole blob (``DownloadText`` in the paper's pseudocode)."""
+        return concat([c for _, c in self._committed])
+
+    def read_range(self, offset: int, length: int) -> Content:
+        """Read an arbitrary byte range of the committed content."""
+        if length < 0 or offset < 0 or offset + length > self._size:
+            raise OutOfRangeError(
+                f"range [{offset}, {offset + length}) outside blob of {self._size} B"
+            )
+        return self.download().slice(offset, offset + length)
+
+
+class PageBlobState(_BlobBase):
+    """A page blob: a sparse, fixed-maximum-size array of 512-byte pages.
+
+    Stores written ranges as a sorted list of non-overlapping intervals
+    ``(start, end, content)``; reads stitch intervals together with
+    :class:`ZeroContent` gaps (unwritten pages read as zeros).
+    """
+
+    blob_type = "PageBlob"
+
+    def __init__(self, service: "BlobServiceState", container: str, name: str,
+                 max_size: int) -> None:
+        super().__init__(service, container, name)
+        limits = service.limits
+        align = limits.page_alignment_bytes
+        if max_size <= 0 or max_size % align != 0:
+            raise InvalidPageRangeError(
+                f"page blob size {max_size} must be a positive multiple of {align}"
+            )
+        if max_size > limits.max_page_blob_bytes:
+            raise PayloadTooLargeError(
+                f"page blob of {max_size} B exceeds {limits.max_page_blob_bytes} B"
+            )
+        self.max_size = max_size
+        #: Sorted, non-overlapping written intervals.
+        self._ranges: List[Tuple[int, int, Content]] = []
+        self._written_bytes = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _check_aligned(self, offset: int, length: int, op: str) -> None:
+        align = self._service.limits.page_alignment_bytes
+        if offset < 0 or length <= 0:
+            raise InvalidPageRangeError(f"{op}: bad range ({offset}, {length})")
+        if offset % align != 0 or length % align != 0:
+            raise InvalidPageRangeError(
+                f"{op}: range ({offset}, {length}) not {align}-byte aligned"
+            )
+        if offset + length > self.max_size:
+            raise InvalidPageRangeError(
+                f"{op}: range end {offset + length} beyond blob size {self.max_size}"
+            )
+
+    def _carve(self, start: int, end: int) -> None:
+        """Remove interval [start, end) from the written ranges."""
+        out: List[Tuple[int, int, Content]] = []
+        removed = 0
+        for s, e, c in self._ranges:
+            if e <= start or s >= end:
+                out.append((s, e, c))
+                continue
+            # Overlap: keep the non-overlapping edges.
+            if s < start:
+                out.append((s, start, c.slice(0, start - s)))
+            if e > end:
+                out.append((end, e, c.slice(end - s, e - s)))
+            removed += min(e, end) - max(s, start)
+        out.sort(key=lambda t: t[0])
+        self._ranges = out
+        self._written_bytes -= removed
+
+    # -- write -------------------------------------------------------------
+    def put_pages(self, offset: int, data, *,
+                  lease_id: Optional[str] = None) -> None:
+        """Write pages at ``offset`` (``PutPage``).  ≤ 4 MB per operation."""
+        self.check_write_lease(lease_id)
+        content = as_content(data)
+        limits = self._service.limits
+        if content.size > limits.max_page_write_bytes:
+            raise InvalidPageRangeError(
+                f"page write of {content.size} B exceeds "
+                f"{limits.max_page_write_bytes} B per operation"
+            )
+        self._check_aligned(offset, content.size, "put_pages")
+        end = offset + content.size
+        # Charge capacity for the net growth first (a rejected write must
+        # not mutate the range map); overlap with existing ranges is free.
+        overwritten = sum(min(e, end) - max(s, offset)
+                          for s, e, _ in self._ranges
+                          if s < end and e > offset)
+        self._service._account_delta(content.size - overwritten)
+        self._carve(offset, end)
+        self._ranges.append((offset, end, content))
+        self._ranges.sort(key=lambda t: t[0])
+        self._written_bytes += content.size
+        self._touch()
+
+    def clear_pages(self, offset: int, length: int, *,
+                    lease_id: Optional[str] = None) -> None:
+        """Clear pages back to zeros (``ClearPage``)."""
+        self.check_write_lease(lease_id)
+        self._check_aligned(offset, length, "clear_pages")
+        before = self._written_bytes
+        self._carve(offset, offset + length)
+        self._service._account_delta(self._written_bytes - before)
+        self._touch()
+
+    # -- read ----------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Page blobs report their fixed maximum size."""
+        return self.max_size
+
+    @property
+    def written_bytes(self) -> int:
+        """Bytes in written (non-zero-backed) page ranges."""
+        return self._written_bytes
+
+    def get_page_ranges(self) -> List[Tuple[int, int]]:
+        """Written intervals as ``(start, end)`` pairs."""
+        return [(s, e) for s, e, _ in self._ranges]
+
+    def read(self, offset: int, length: int) -> Content:
+        """Read an aligned range (``GetPage``); gaps read as zeros."""
+        self._check_aligned(offset, length, "read")
+        end = offset + length
+        parts: List[Content] = []
+        cursor = offset
+        for s, e, c in self._ranges:
+            if e <= offset or s >= end:
+                continue
+            lo, hi = max(s, offset), min(e, end)
+            if lo > cursor:
+                parts.append(ZeroContent(lo - cursor))
+            parts.append(c.slice(lo - s, hi - s))
+            cursor = hi
+        if cursor < end:
+            parts.append(ZeroContent(end - cursor))
+        return concat(parts)
+
+    def _content_view(self) -> Content:
+        return self.read(0, self.max_size)
+
+    def read_all(self) -> Content:
+        """Read the full blob (the paper's ``PageBlob.openRead()`` download)."""
+        return self.read(0, self.max_size)
+
+
+class ContainerState:
+    """A blob container: a flat namespace of blobs."""
+
+    def __init__(self, service: "BlobServiceState", name: str) -> None:
+        self._service = service
+        self.name = validate_container_name(name)
+        self.blobs: Dict[str, _BlobBase] = {}
+        self.created_at = service._clock.now()
+
+    def create_block_blob(self, name: str, *, overwrite: bool = True) -> BlockBlobState:
+        """Create (or replace) an empty block blob."""
+        if name in self.blobs and not overwrite:
+            raise ResourceExistsError(f"blob {name!r} already exists")
+        old = self.blobs.get(name)
+        if old is not None:
+            self._service._account_delta(-_blob_bytes(old))
+        blob = BlockBlobState(self._service, self.name, name)
+        self.blobs[name] = blob
+        return blob
+
+    def create_page_blob(self, name: str, max_size: int, *,
+                         overwrite: bool = True) -> PageBlobState:
+        """Create (or replace) a page blob of the given maximum size."""
+        if name in self.blobs and not overwrite:
+            raise ResourceExistsError(f"blob {name!r} already exists")
+        old = self.blobs.get(name)
+        if old is not None:
+            self._service._account_delta(-_blob_bytes(old))
+        blob = PageBlobState(self._service, self.name, name, max_size)
+        self.blobs[name] = blob
+        return blob
+
+    def get_blob(self, name: str) -> _BlobBase:
+        try:
+            return self.blobs[name]
+        except KeyError:
+            raise BlobNotFoundError(
+                f"blob {name!r} not found in container {self.name!r}"
+            ) from None
+
+    def get_block_blob(self, name: str) -> BlockBlobState:
+        blob = self.get_blob(name)
+        if not isinstance(blob, BlockBlobState):
+            raise InvalidOperationError(f"blob {name!r} is not a block blob")
+        return blob
+
+    def get_page_blob(self, name: str) -> PageBlobState:
+        blob = self.get_blob(name)
+        if not isinstance(blob, PageBlobState):
+            raise InvalidOperationError(f"blob {name!r} is not a page blob")
+        return blob
+
+    def delete_blob(self, name: str, *,
+                    lease_id: Optional[str] = None,
+                    delete_snapshots: bool = False) -> None:
+        """Delete a blob.  A blob with snapshots requires
+        ``delete_snapshots=True``, like the x-ms-delete-snapshots header."""
+        blob = self.get_blob(name)
+        blob.check_write_lease(lease_id)
+        if blob.snapshots and not delete_snapshots:
+            raise InvalidOperationError(
+                f"blob {name!r} has {len(blob.snapshots)} snapshot(s); "
+                "pass delete_snapshots=True"
+            )
+        self._service._account_delta(-_blob_bytes(blob))
+        del self.blobs[name]
+
+    def list_blobs(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self.blobs if n.startswith(prefix))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.blobs
+
+    def __len__(self) -> int:
+        return len(self.blobs)
+
+
+def _blob_bytes(blob: _BlobBase) -> int:
+    if isinstance(blob, PageBlobState):
+        return blob.written_bytes
+    return blob.size
+
+
+class BlobServiceState:
+    """Root state of the blob service of one storage account."""
+
+    def __init__(self, clock: Clock, limits: ServiceLimits = LIMITS_2012,
+                 account=None) -> None:
+        self._clock = clock
+        self.limits = limits
+        self._account = account
+        self._etags = ETagFactory()
+        self.containers: Dict[str, ContainerState] = {}
+
+    def _account_delta(self, delta: int) -> None:
+        """Report a change in stored bytes to the owning account, if any."""
+        if self._account is not None:
+            self._account.adjust_usage(delta)
+
+    # -- container management --------------------------------------------
+    def create_container(self, name: str, *, fail_on_exist: bool = False) -> ContainerState:
+        """Create a container (idempotent unless ``fail_on_exist``)."""
+        if name in self.containers:
+            if fail_on_exist:
+                raise ResourceExistsError(f"container {name!r} already exists")
+            return self.containers[name]
+        container = ContainerState(self, name)
+        self.containers[name] = container
+        return container
+
+    def get_container(self, name: str) -> ContainerState:
+        try:
+            return self.containers[name]
+        except KeyError:
+            raise ContainerNotFoundError(f"container {name!r} not found") from None
+
+    def delete_container(self, name: str) -> None:
+        container = self.get_container(name)
+        for blob in list(container.blobs.values()):
+            self._account_delta(-_blob_bytes(blob))
+        del self.containers[name]
+
+    def list_containers(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self.containers if n.startswith(prefix))
+
+    def iter_blobs(self) -> Iterator[_BlobBase]:
+        for container in self.containers.values():
+            yield from container.blobs.values()
+
+    def total_bytes(self) -> int:
+        """Bytes stored across all containers (committed + written pages)."""
+        return sum(_blob_bytes(b) for b in self.iter_blobs())

@@ -1,0 +1,5 @@
+"""Caching service data plane (named caches, TTL, LRU eviction)."""
+
+from .state import CacheItem, CacheServiceState, CacheState, CacheStats
+
+__all__ = ["CacheServiceState", "CacheState", "CacheItem", "CacheStats"]

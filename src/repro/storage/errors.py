@@ -1,0 +1,191 @@
+"""Error model for the emulated Windows Azure storage services (2012 era).
+
+The hierarchy mirrors the REST error codes the 2011/2012 storage API
+returned; benchmark code catches :class:`ServerBusyError` and retries after
+a one-second sleep, exactly as the paper describes (Section IV.C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "StorageError",
+    "ServerBusyError",
+    "ResourceNotFoundError",
+    "ContainerNotFoundError",
+    "BlobNotFoundError",
+    "QueueNotFoundError",
+    "TableNotFoundError",
+    "EntityNotFoundError",
+    "MessageNotFoundError",
+    "ResourceExistsError",
+    "PreconditionFailedError",
+    "ETagMismatchError",
+    "InvalidNameError",
+    "InvalidOperationError",
+    "PayloadTooLargeError",
+    "MessageTooLargeError",
+    "EntityTooLargeError",
+    "BlockTooLargeError",
+    "TooManyBlocksError",
+    "TooManyPropertiesError",
+    "InvalidPageRangeError",
+    "BlockNotFoundError",
+    "OutOfRangeError",
+    "AccountCapacityExceededError",
+    "LeaseConflictError",
+    "BatchError",
+]
+
+
+class StorageError(Exception):
+    """Base class for all storage service failures."""
+
+    #: REST status code the real service would return.
+    status_code: int = 500
+    #: Azure storage error code string.
+    error_code: str = "InternalError"
+
+    def __init__(self, message: str = "", *, detail: Optional[str] = None):
+        super().__init__(message or self.error_code)
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.args[0]!r}, status={self.status_code})"
+
+
+class ServerBusyError(StorageError):
+    """The server is throttling the request (scalability target exceeded).
+
+    The paper: "we experienced a small number of server busy exceptions …
+    which is an indication of hitting the 500 transactions per second limit.
+    … the worker sleeps for a second before retrying the same operation."
+    """
+
+    status_code = 503
+    error_code = "ServerBusy"
+
+    def __init__(self, message: str = "", *, retry_after: float = 1.0, **kw):
+        super().__init__(message, **kw)
+        self.retry_after = retry_after
+
+
+class ResourceNotFoundError(StorageError):
+    status_code = 404
+    error_code = "ResourceNotFound"
+
+
+class ContainerNotFoundError(ResourceNotFoundError):
+    error_code = "ContainerNotFound"
+
+
+class BlobNotFoundError(ResourceNotFoundError):
+    error_code = "BlobNotFound"
+
+
+class QueueNotFoundError(ResourceNotFoundError):
+    error_code = "QueueNotFound"
+
+
+class TableNotFoundError(ResourceNotFoundError):
+    error_code = "TableNotFound"
+
+
+class EntityNotFoundError(ResourceNotFoundError):
+    error_code = "EntityNotFound"
+
+
+class MessageNotFoundError(ResourceNotFoundError):
+    error_code = "MessageNotFound"
+
+
+class ResourceExistsError(StorageError):
+    status_code = 409
+    error_code = "ResourceAlreadyExists"
+
+
+class PreconditionFailedError(StorageError):
+    status_code = 412
+    error_code = "ConditionNotMet"
+
+
+class ETagMismatchError(PreconditionFailedError):
+    error_code = "UpdateConditionNotSatisfied"
+
+
+class InvalidNameError(StorageError):
+    status_code = 400
+    error_code = "OutOfRangeInput"
+
+
+class InvalidOperationError(StorageError):
+    status_code = 400
+    error_code = "InvalidOperation"
+
+
+class PayloadTooLargeError(StorageError):
+    status_code = 413
+    error_code = "RequestBodyTooLarge"
+
+
+class MessageTooLargeError(PayloadTooLargeError):
+    error_code = "MessageTooLarge"
+
+
+class EntityTooLargeError(PayloadTooLargeError):
+    error_code = "EntityTooLarge"
+
+
+class BlockTooLargeError(PayloadTooLargeError):
+    error_code = "BlockTooLarge"
+
+
+class TooManyBlocksError(StorageError):
+    status_code = 409
+    error_code = "BlockCountExceedsLimit"
+
+
+class TooManyPropertiesError(StorageError):
+    status_code = 400
+    error_code = "PropertyCountExceedsLimit"
+
+
+class InvalidPageRangeError(StorageError):
+    status_code = 400
+    error_code = "InvalidPageRange"
+
+
+class BlockNotFoundError(StorageError):
+    status_code = 400
+    error_code = "InvalidBlockId"
+
+
+class OutOfRangeError(StorageError):
+    status_code = 416
+    error_code = "InvalidRange"
+
+
+class AccountCapacityExceededError(StorageError):
+    status_code = 409
+    error_code = "AccountBeingCreated"  # closest 2012-era analogue
+
+    def __init__(self, message: str = "storage account capacity (100 TB) exceeded", **kw):
+        super().__init__(message, **kw)
+
+
+class LeaseConflictError(StorageError):
+    status_code = 409
+    error_code = "LeaseIdMismatchWithBlobOperation"
+
+
+class BatchError(StorageError):
+    """An entity-group transaction failed; carries the failing index."""
+
+    status_code = 400
+    error_code = "InvalidInput"
+
+    def __init__(self, message: str, *, index: int, cause: StorageError, **kw):
+        super().__init__(message, **kw)
+        self.index = index
+        self.cause = cause

@@ -1,0 +1,44 @@
+"""ETag generation and matching for optimistic concurrency (Table storage)."""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+from .errors import ETagMismatchError
+
+__all__ = ["ETagFactory", "WILDCARD_ETAG", "check_etag"]
+
+#: The wild-card ETag: matches any current ETag (the paper: "We only tested
+#: the unconditional updates by using the wild card character * for ETag").
+WILDCARD_ETAG = "*"
+
+
+class ETagFactory:
+    """Produces unique, monotonically increasing ETag strings.
+
+    Real Azure uses HTTP-date-based ETags; uniqueness and monotonicity are
+    the only properties the concurrency protocol needs, so a counter keeps
+    the simulation deterministic.
+    """
+
+    def __init__(self, prefix: str = "W/\"datetime'") -> None:
+        self._prefix = prefix
+        self._counter = count(1)
+
+    def next(self) -> str:
+        return f"{self._prefix}{next(self._counter):016d}'\""
+
+
+def check_etag(expected: Optional[str], actual: str) -> None:
+    """Raise :class:`ETagMismatchError` unless ``expected`` matches.
+
+    ``None`` and ``"*"`` are both treated as unconditional (match anything),
+    mirroring the SDK behaviour the paper's Algorithm 5 relies on.
+    """
+    if expected is None or expected == WILDCARD_ETAG:
+        return
+    if expected != actual:
+        raise ETagMismatchError(
+            f"etag mismatch: expected {expected!r}, resource has {actual!r}"
+        )

@@ -1,0 +1,92 @@
+"""Service limits and scalability targets of Windows Azure storage, 2012 era.
+
+Every number here is quoted from the paper (Section IV and the per-service
+subsections) or from the MSDN limits the paper cites.  Two eras are provided:
+
+* :data:`LIMITS_2012` — the post-October-2011 API the paper benchmarks
+  (64 KB messages, 7-day TTL).
+* :data:`LIMITS_2010` — the earlier platform Hill et al. measured (8 KB
+  messages, 2-hour TTL), used by the API-era ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ServiceLimits", "LIMITS_2012", "LIMITS_2010", "KB", "MB", "GB", "TB"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Hard limits and scalability targets for a storage account."""
+
+    # -- account-wide targets (paper Section IV intro) ----------------------
+    #: "The absolute limit on a storage account is 100 TB."
+    account_capacity_bytes: int = 100 * TB
+    #: "up to 5,000 transactions (entities/messages/blobs) per second"
+    account_transactions_per_second: int = 5000
+    #: "maximum bandwidth support for up to 3 GB per second"
+    account_bandwidth_bytes_per_second: int = 3 * GB
+
+    # -- blob (Section IV.A) -------------------------------------------------
+    #: "The throughput of a blob is up to 60 MB per second."
+    blob_throughput_bytes_per_second: int = 60 * MB
+    #: "small blocks of size up to 4 MB"
+    max_block_bytes: int = 4 * MB
+    #: "There can be a total of 50,000 such blocks in a blob."
+    max_blocks_per_blob: int = 50_000
+    #: "Block blobs less than 64 MB ... uploaded ... as a single entity"
+    max_single_shot_blob_bytes: int = 64 * MB
+    #: "the maximum size of a Block blob cannot exceed 200 GB"
+    max_block_blob_bytes: int = 200 * GB
+    #: "A Page blob can store up to 1 TB of data."
+    max_page_blob_bytes: int = 1 * TB
+    #: "The offset boundary should be divisible by 512"
+    page_alignment_bytes: int = 512
+    #: "the total data that can be updated in one operation is 4 MB"
+    max_page_write_bytes: int = 4 * MB
+
+    # -- queue (Section IV.B) ------------------------------------------------
+    #: "A single queue can only handle up to 500 messages per second."
+    queue_messages_per_second: int = 500
+    #: "The maximum size of a message supported by Azure cloud is 64 KB"
+    max_message_bytes: int = 64 * KB
+    #: "48 KB (49152 Bytes to be precise) is the maximum usable size …
+    #: rest of the message content is metadata."
+    max_message_payload_bytes: int = 48 * KB
+    #: "if a message is left in the queue for longer than a week … it
+    #: automatically disappears"
+    max_message_ttl_seconds: float = 7 * 24 * 3600.0
+    #: Default visibility timeout applied by GetMessage (SDK default 30 s).
+    default_visibility_timeout_seconds: float = 30.0
+
+    # -- table (Section IV.C) ------------------------------------------------
+    #: "A single partition can support access to a maximum of 500 entities
+    #: per second."
+    partition_entities_per_second: int = 500
+    #: "entities of up to 1 MB in size"
+    max_entity_bytes: int = 1 * MB
+    #: "each entity is composed of up to 255 properties"
+    max_entity_properties: int = 255
+
+    def with_overrides(self, **kw) -> "ServiceLimits":
+        """A copy with some limits replaced (used by ablations and tests)."""
+        return replace(self, **kw)
+
+
+#: The platform the paper benchmarks (post-October-2011 APIs).
+LIMITS_2012 = ServiceLimits()
+
+#: The earlier platform (Hill et al., 2010): 8 KB messages and the 2-hour
+#: message expiry the paper calls out as "problematic for long-running
+#: real-world scientific applications".
+LIMITS_2010 = LIMITS_2012.with_overrides(
+    max_message_bytes=8 * KB,
+    max_message_payload_bytes=6 * KB,
+    max_message_ttl_seconds=2 * 3600.0,
+)

@@ -1,0 +1,66 @@
+"""Resource-name validation matching the 2012 Azure storage naming rules."""
+
+from __future__ import annotations
+
+import re
+
+from .errors import InvalidNameError
+
+__all__ = [
+    "validate_container_name",
+    "validate_blob_name",
+    "validate_queue_name",
+    "validate_table_name",
+    "validate_account_name",
+]
+
+# Containers and queues share the DNS-compatible rule set: 3-63 chars,
+# lowercase letters / digits / dashes, start+end alphanumeric, no "--".
+_DNS_NAME = re.compile(r"^[a-z0-9](?:[a-z0-9]|-(?=[a-z0-9])){1,61}[a-z0-9]$")
+
+# Tables: 3-63 alphanumeric characters, must start with a letter.
+_TABLE_NAME = re.compile(r"^[A-Za-z][A-Za-z0-9]{2,62}$")
+
+# Accounts: 3-24 lowercase alphanumerics.
+_ACCOUNT_NAME = re.compile(r"^[a-z0-9]{3,24}$")
+
+
+def _check(pattern: re.Pattern, name: str, kind: str) -> str:
+    if not isinstance(name, str):
+        raise InvalidNameError(f"{kind} name must be a string, got {type(name).__name__}")
+    if not pattern.match(name):
+        raise InvalidNameError(f"invalid {kind} name {name!r}")
+    return name
+
+
+def validate_container_name(name: str) -> str:
+    """Validate a blob container name (DNS rules, 3-63 chars)."""
+    if name == "$root":  # the special root container is legal
+        return name
+    return _check(_DNS_NAME, name, "container")
+
+
+def validate_blob_name(name: str) -> str:
+    """Validate a blob name (1-1024 chars, any printable path)."""
+    if not isinstance(name, str):
+        raise InvalidNameError(f"blob name must be a string, got {type(name).__name__}")
+    if not 1 <= len(name) <= 1024:
+        raise InvalidNameError(f"blob name length {len(name)} outside 1..1024")
+    if name.endswith(".") or name.endswith("/"):
+        raise InvalidNameError(f"blob name {name!r} may not end with '.' or '/'")
+    return name
+
+
+def validate_queue_name(name: str) -> str:
+    """Validate a queue name (DNS rules, 3-63 chars)."""
+    return _check(_DNS_NAME, name, "queue")
+
+
+def validate_table_name(name: str) -> str:
+    """Validate a table name (alphanumeric, starts with a letter)."""
+    return _check(_TABLE_NAME, name, "table")
+
+
+def validate_account_name(name: str) -> str:
+    """Validate a storage account name (3-24 lowercase alphanumerics)."""
+    return _check(_ACCOUNT_NAME, name, "account")

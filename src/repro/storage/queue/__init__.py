@@ -1,0 +1,5 @@
+"""Queue service data plane (messages, visibility timeouts, TTL)."""
+
+from .state import QueueMessage, QueueServiceState, QueueState
+
+__all__ = ["QueueServiceState", "QueueState", "QueueMessage"]

@@ -1,0 +1,16 @@
+"""Table service data plane (entities, partitions, queries, batches)."""
+
+from .entity import Entity, entity_size
+from .filters import FilterError, parse_filter
+from .state import BatchOperation, QueryResult, TableServiceState, TableState
+
+__all__ = [
+    "TableServiceState",
+    "TableState",
+    "Entity",
+    "entity_size",
+    "QueryResult",
+    "BatchOperation",
+    "parse_filter",
+    "FilterError",
+]

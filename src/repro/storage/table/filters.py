@@ -1,0 +1,214 @@
+"""A small OData-style filter language for table queries.
+
+The 2012 Table service accepted ``$filter`` expressions such as::
+
+    PartitionKey eq 'worker-7' and RowKey ge '0100'
+    Size gt 4096 or not (Flag eq true)
+
+This module provides a recursive-descent parser compiling such expressions
+into predicates over :class:`~repro.storage.table.entity.Entity`.  The
+grammar (in precedence order, loosest first)::
+
+    expr    := or_e
+    or_e    := and_e ('or' and_e)*
+    and_e   := not_e ('and' not_e)*
+    not_e   := 'not' not_e | cmp
+    cmp     := '(' expr ')' | ident OP literal
+    OP      := eq | ne | gt | ge | lt | le
+    literal := 'string' | number | true | false
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, List, NamedTuple, Optional
+
+from ..errors import InvalidOperationError
+from .entity import Entity
+
+__all__ = ["parse_filter", "FilterError", "Predicate"]
+
+Predicate = Callable[[Entity], bool]
+
+
+class FilterError(InvalidOperationError):
+    """The filter expression could not be parsed."""
+
+    error_code = "InvalidInput"
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: Any
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "eq", "ne", "gt", "ge", "lt", "le",
+             "true", "false"}
+
+_MISSING = object()
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise FilterError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        value: Any = m.group()
+        if kind == "string":
+            value = value[1:-1].replace("''", "'")
+        elif kind == "number":
+            value = float(value) if "." in value else int(value)
+        elif kind == "word":
+            lowered = value.lower()
+            if lowered in _KEYWORDS:
+                kind, value = lowered, lowered
+            else:
+                kind = "ident"
+        tokens.append(_Token(kind, value, m.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._i = 0
+
+    def _peek(self) -> Optional[_Token]:
+        return self._tokens[self._i] if self._i < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise FilterError(f"unexpected end of filter {self._text!r}")
+        self._i += 1
+        return tok
+
+    def _expect(self, kind: str) -> _Token:
+        tok = self._next()
+        if tok.kind != kind:
+            raise FilterError(
+                f"expected {kind} at position {tok.pos}, got {tok.kind} "
+                f"({tok.value!r})"
+            )
+        return tok
+
+    def parse(self) -> Predicate:
+        pred = self._or()
+        tok = self._peek()
+        if tok is not None:
+            raise FilterError(f"trailing input at position {tok.pos}: {tok.value!r}")
+        return pred
+
+    def _or(self) -> Predicate:
+        left = self._and()
+        while (tok := self._peek()) is not None and tok.kind == "or":
+            self._next()
+            right = self._and()
+            left = _or_pred(left, right)
+        return left
+
+    def _and(self) -> Predicate:
+        left = self._not()
+        while (tok := self._peek()) is not None and tok.kind == "and":
+            self._next()
+            right = self._not()
+            left = _and_pred(left, right)
+        return left
+
+    def _not(self) -> Predicate:
+        tok = self._peek()
+        if tok is not None and tok.kind == "not":
+            self._next()
+            inner = self._not()
+            return _not_pred(inner)
+        return self._cmp()
+
+    def _cmp(self) -> Predicate:
+        tok = self._peek()
+        if tok is not None and tok.kind == "lparen":
+            self._next()
+            inner = self._or()
+            self._expect("rparen")
+            return inner
+        name_tok = self._expect("ident")
+        op_tok = self._next()
+        if op_tok.kind not in ("eq", "ne", "gt", "ge", "lt", "le"):
+            raise FilterError(
+                f"expected comparison operator at position {op_tok.pos}, "
+                f"got {op_tok.value!r}"
+            )
+        lit_tok = self._next()
+        if lit_tok.kind == "string" or lit_tok.kind == "number":
+            literal: Any = lit_tok.value
+        elif lit_tok.kind in ("true", "false"):
+            literal = lit_tok.kind == "true"
+        else:
+            raise FilterError(
+                f"expected literal at position {lit_tok.pos}, got {lit_tok.value!r}"
+            )
+        return _cmp_pred(name_tok.value, op_tok.kind, literal)
+
+
+def _or_pred(a: Predicate, b: Predicate) -> Predicate:
+    return lambda e: a(e) or b(e)
+
+
+def _and_pred(a: Predicate, b: Predicate) -> Predicate:
+    return lambda e: a(e) and b(e)
+
+
+def _not_pred(a: Predicate) -> Predicate:
+    return lambda e: not a(e)
+
+
+def _cmp_pred(name: str, op: str, literal: Any) -> Predicate:
+    def pred(entity: Entity) -> bool:
+        value = entity.get(name, _MISSING)
+        if value is _MISSING:
+            # Like the real service, comparisons against absent properties
+            # are false (the entity simply does not match).
+            return False
+        try:
+            if op == "eq":
+                return value == literal
+            if op == "ne":
+                return value != literal
+            if op == "gt":
+                return value > literal
+            if op == "ge":
+                return value >= literal
+            if op == "lt":
+                return value < literal
+            return value <= literal
+        except TypeError:
+            return False
+
+    return pred
+
+
+def parse_filter(text: str) -> Predicate:
+    """Compile an OData-style filter string into an entity predicate."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise FilterError("empty filter expression")
+    return _Parser(tokens, text).parse()

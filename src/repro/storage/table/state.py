@@ -1,0 +1,378 @@
+"""Data plane of the Windows Azure Table service (2012 semantics).
+
+Implements the operations the paper's Algorithm 5 exercises — ``AddRow``
+(insert), ``Query``, ``Update`` and ``Delete`` — plus the rest of the 2012
+surface: insert-or-replace / insert-or-merge upserts, merge, ETag-based
+optimistic concurrency with the ``*`` wildcard, key-range queries with
+``$filter``/``$top``/continuation tokens, and atomic entity-group
+transactions (batches within one partition).
+
+"Tables are partitioned on the partition keys, i.e. entities of a table
+that belong to the same partition are stored together on a server."
+(paper IV.C) — partition layout is exposed via :meth:`TableState.partitions`
+so the cluster model can enforce the 500 entities/s/partition target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..clock import Clock
+from ..errors import (
+    BatchError,
+    EntityNotFoundError,
+    InvalidOperationError,
+    ResourceExistsError,
+    StorageError,
+    TableNotFoundError,
+)
+from ..etag import ETagFactory, check_etag
+from ..limits import LIMITS_2012, ServiceLimits
+from ..naming import validate_table_name
+from .entity import Entity
+from .filters import Predicate, parse_filter
+
+__all__ = ["TableServiceState", "TableState", "QueryResult", "BatchOperation"]
+
+#: Maximum operations per entity-group transaction (2012 API).
+MAX_BATCH_OPERATIONS = 100
+
+FilterSpec = Union[None, str, Predicate]
+
+
+@dataclass
+class QueryResult:
+    """A page of query results plus an optional continuation token."""
+
+    entities: List[Entity]
+    continuation: Optional[Tuple[str, str]] = None
+
+    def __iter__(self):
+        return iter(self.entities)
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+
+@dataclass
+class BatchOperation:
+    """One operation inside an entity-group transaction."""
+
+    kind: str  # insert | update | merge | delete | upsert_replace | upsert_merge
+    partition_key: str
+    row_key: str
+    properties: Optional[Mapping[str, Any]] = None
+    etag: Optional[str] = None
+
+
+class TableState:
+    """One table: partitions of row-keyed entities."""
+
+    def __init__(self, service: "TableServiceState", name: str) -> None:
+        self._service = service
+        self.name = validate_table_name(name)
+        #: partition key -> row key -> Entity (row dicts kept key-sorted
+        #: lazily at query time).
+        self._partitions: Dict[str, Dict[str, Entity]] = {}
+        self.created_at = service._clock.now()
+
+    # -- internals -----------------------------------------------------------
+    def _now(self) -> float:
+        return self._service._clock.now()
+
+    def _new_etag(self) -> str:
+        return self._service._etags.next()
+
+    def _partition(self, pk: str) -> Dict[str, Entity]:
+        return self._partitions.setdefault(pk, {})
+
+    def _lookup(self, pk: str, rk: str) -> Entity:
+        try:
+            return self._partitions[pk][rk]
+        except KeyError:
+            raise EntityNotFoundError(
+                f"entity ({pk!r}, {rk!r}) not found in table {self.name!r}"
+            ) from None
+
+    def _store(self, entity: Entity) -> None:
+        entity.validate(self._service.limits)
+        pk = entity.partition_key
+        old = self._partitions.get(pk, {}).get(entity.row_key)
+        delta = entity.size - (old.size if old is not None else 0)
+        # Charge capacity first: a rejected write must not mutate the table.
+        self._service._account_delta(delta)
+        self._partition(pk)[entity.row_key] = entity
+
+    # -- write operations -----------------------------------------------------
+    def insert(self, partition_key: str, row_key: str,
+               properties: Mapping[str, Any]) -> Entity:
+        """Insert a new entity (the paper's ``AddRow``); 409 on conflict."""
+        pk_rows = self._partitions.get(partition_key, {})
+        if row_key in pk_rows:
+            raise ResourceExistsError(
+                f"entity ({partition_key!r}, {row_key!r}) already exists"
+            )
+        entity = Entity(partition_key, row_key, properties,
+                        etag=self._new_etag(), timestamp=self._now())
+        self._store(entity)
+        return entity
+
+    def update(self, partition_key: str, row_key: str,
+               properties: Mapping[str, Any], *,
+               etag: Optional[str] = "*") -> Entity:
+        """Replace an existing entity's property bag (``Update``).
+
+        The paper's Algorithm 5 uses unconditional updates (``etag='*'``);
+        pass a concrete ETag for optimistic concurrency.
+        """
+        current = self._lookup(partition_key, row_key)
+        check_etag(etag, current.etag)
+        entity = current.replaced_with(properties, etag=self._new_etag(),
+                                       timestamp=self._now())
+        self._store(entity)
+        return entity
+
+    def merge(self, partition_key: str, row_key: str,
+              properties: Mapping[str, Any], *,
+              etag: Optional[str] = "*") -> Entity:
+        """Merge properties into an existing entity."""
+        current = self._lookup(partition_key, row_key)
+        check_etag(etag, current.etag)
+        entity = current.merged_with(properties, etag=self._new_etag(),
+                                     timestamp=self._now())
+        self._store(entity)
+        return entity
+
+    def insert_or_replace(self, partition_key: str, row_key: str,
+                          properties: Mapping[str, Any]) -> Entity:
+        """Upsert, replacing the property bag if the entity exists."""
+        entity = Entity(partition_key, row_key, properties,
+                        etag=self._new_etag(), timestamp=self._now())
+        self._store(entity)
+        return entity
+
+    def insert_or_merge(self, partition_key: str, row_key: str,
+                        properties: Mapping[str, Any]) -> Entity:
+        """Upsert, merging into the property bag if the entity exists."""
+        existing = self._partitions.get(partition_key, {}).get(row_key)
+        if existing is None:
+            return self.insert_or_replace(partition_key, row_key, properties)
+        entity = existing.merged_with(properties, etag=self._new_etag(),
+                                      timestamp=self._now())
+        self._store(entity)
+        return entity
+
+    def delete(self, partition_key: str, row_key: str, *,
+               etag: Optional[str] = "*") -> None:
+        """Delete an entity (``Delete``), with optional ETag check."""
+        current = self._lookup(partition_key, row_key)
+        check_etag(etag, current.etag)
+        del self._partitions[partition_key][row_key]
+        if not self._partitions[partition_key]:
+            del self._partitions[partition_key]
+        self._service._account_delta(-current.size)
+
+    # -- read operations ----------------------------------------------------
+    def get(self, partition_key: str, row_key: str) -> Entity:
+        """Point query by full key."""
+        return self._lookup(partition_key, row_key)
+
+    def try_get(self, partition_key: str, row_key: str) -> Optional[Entity]:
+        try:
+            return self._lookup(partition_key, row_key)
+        except EntityNotFoundError:
+            return None
+
+    def query(self, filter: FilterSpec = None, *, top: Optional[int] = None,
+              continuation: Optional[Tuple[str, str]] = None,
+              select: Optional[Sequence[str]] = None) -> QueryResult:
+        """Scan the table in (PartitionKey, RowKey) order.
+
+        ``filter`` may be an OData-style string (see
+        :mod:`repro.storage.table.filters`) or a Python predicate.  ``top``
+        bounds the page size; a continuation token points at the next key;
+        ``select`` projects each returned entity to the named properties
+        (OData ``$select``; the filter still sees the full entity).
+        """
+        if top is not None and top < 1:
+            raise InvalidOperationError("top must be >= 1")
+        predicate = self._compile_filter(filter)
+        out: List[Entity] = []
+        for pk in sorted(self._partitions):
+            if continuation is not None and pk < continuation[0]:
+                continue
+            rows = self._partitions[pk]
+            for rk in sorted(rows):
+                if continuation is not None and (pk, rk) <= continuation:
+                    continue
+                entity = rows[rk]
+                if predicate is not None and not predicate(entity):
+                    continue
+                out.append(entity)
+                if top is not None and len(out) > top:
+                    # One past the page: return the page + continuation.
+                    page = out[:top]
+                    if select is not None:
+                        page = [e.project(select) for e in page]
+                    return QueryResult(page, continuation=out[top - 1].key)
+        if select is not None:
+            out = [e.project(select) for e in out]
+        return QueryResult(out, continuation=None)
+
+    def query_partition(self, partition_key: str,
+                        filter: FilterSpec = None, *,
+                        select: Optional[Sequence[str]] = None) -> List[Entity]:
+        """All entities of one partition, row-key ordered."""
+        predicate = self._compile_filter(filter)
+        rows = self._partitions.get(partition_key, {})
+        out = [rows[rk] for rk in sorted(rows)]
+        if predicate is not None:
+            out = [e for e in out if predicate(e)]
+        if select is not None:
+            out = [e.project(select) for e in out]
+        return out
+
+    @staticmethod
+    def _compile_filter(filter: FilterSpec) -> Optional[Predicate]:
+        if filter is None:
+            return None
+        if isinstance(filter, str):
+            return parse_filter(filter)
+        if callable(filter):
+            return filter
+        raise InvalidOperationError(
+            f"filter must be a string or callable, got {type(filter).__name__}"
+        )
+
+    # -- entity-group transactions ------------------------------------------
+    def execute_batch(self, operations: Iterable[BatchOperation]) -> List[Optional[Entity]]:
+        """Atomically apply operations touching a single partition.
+
+        All-or-nothing: if any operation fails the table is left unchanged
+        and a :class:`BatchError` carrying the failing index is raised.
+        """
+        ops = list(operations)
+        if not ops:
+            return []
+        if len(ops) > MAX_BATCH_OPERATIONS:
+            raise InvalidOperationError(
+                f"batch of {len(ops)} exceeds {MAX_BATCH_OPERATIONS} operations"
+            )
+        pks = {op.partition_key for op in ops}
+        if len(pks) != 1:
+            raise InvalidOperationError(
+                "entity-group transactions must target a single partition; "
+                f"got partitions {sorted(pks)!r}"
+            )
+        keys = [(op.partition_key, op.row_key) for op in ops]
+        if len(set(keys)) != len(keys):
+            raise InvalidOperationError(
+                "an entity may appear only once in a batch"
+            )
+        pk = next(iter(pks))
+        # Snapshot the partition for rollback.
+        snapshot = dict(self._partitions.get(pk, {}))
+        snapshot_bytes = sum(e.size for e in snapshot.values())
+        results: List[Optional[Entity]] = []
+        try:
+            for i, op in enumerate(ops):
+                try:
+                    results.append(self._apply_batch_op(op))
+                except StorageError as exc:
+                    raise BatchError(
+                        f"batch operation {i} ({op.kind}) failed: {exc}",
+                        index=i, cause=exc,
+                    ) from exc
+        except BatchError:
+            # Roll back.
+            current = self._partitions.get(pk, {})
+            current_bytes = sum(e.size for e in current.values())
+            if snapshot:
+                self._partitions[pk] = snapshot
+            else:
+                self._partitions.pop(pk, None)
+            self._service._account_delta(snapshot_bytes - current_bytes)
+            raise
+        return results
+
+    def _apply_batch_op(self, op: BatchOperation) -> Optional[Entity]:
+        if op.kind == "insert":
+            return self.insert(op.partition_key, op.row_key, op.properties or {})
+        if op.kind == "update":
+            return self.update(op.partition_key, op.row_key, op.properties or {},
+                               etag=op.etag if op.etag is not None else "*")
+        if op.kind == "merge":
+            return self.merge(op.partition_key, op.row_key, op.properties or {},
+                              etag=op.etag if op.etag is not None else "*")
+        if op.kind == "upsert_replace":
+            return self.insert_or_replace(op.partition_key, op.row_key,
+                                          op.properties or {})
+        if op.kind == "upsert_merge":
+            return self.insert_or_merge(op.partition_key, op.row_key,
+                                        op.properties or {})
+        if op.kind == "delete":
+            self.delete(op.partition_key, op.row_key,
+                        etag=op.etag if op.etag is not None else "*")
+            return None
+        raise InvalidOperationError(f"unknown batch operation kind {op.kind!r}")
+
+    # -- introspection --------------------------------------------------------
+    def partitions(self) -> List[str]:
+        """Partition keys present, sorted (cluster placement uses these)."""
+        return sorted(self._partitions)
+
+    def entity_count(self, partition_key: Optional[str] = None) -> int:
+        if partition_key is not None:
+            return len(self._partitions.get(partition_key, {}))
+        return sum(len(rows) for rows in self._partitions.values())
+
+    def total_bytes(self) -> int:
+        return sum(e.size for rows in self._partitions.values()
+                   for e in rows.values())
+
+    def __len__(self) -> int:
+        return self.entity_count()
+
+
+class TableServiceState:
+    """Root state of the table service of one storage account."""
+
+    def __init__(self, clock: Clock, limits: ServiceLimits = LIMITS_2012,
+                 account=None) -> None:
+        self._clock = clock
+        self.limits = limits
+        self._account = account
+        self._etags = ETagFactory()
+        self.tables: Dict[str, TableState] = {}
+
+    def _account_delta(self, delta: int) -> None:
+        if self._account is not None:
+            self._account.adjust_usage(delta)
+
+    def create_table(self, name: str, *, fail_on_exist: bool = False) -> TableState:
+        """Create a table (idempotent unless ``fail_on_exist``)."""
+        if name in self.tables:
+            if fail_on_exist:
+                raise ResourceExistsError(f"table {name!r} already exists")
+            return self.tables[name]
+        table = TableState(self, name)
+        self.tables[name] = table
+        return table
+
+    def get_table(self, name: str) -> TableState:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"table {name!r} not found") from None
+
+    def delete_table(self, name: str) -> None:
+        table = self.get_table(name)
+        self._account_delta(-table.total_bytes())
+        del self.tables[name]
+
+    def list_tables(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self.tables if n.startswith(prefix))
+
+    def total_bytes(self) -> int:
+        return sum(t.total_bytes() for t in self.tables.values())

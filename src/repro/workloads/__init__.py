@@ -1,0 +1,37 @@
+"""Workload generators for benchmarks and example applications."""
+
+from .generators import (
+    GISTile,
+    bag_of_tasks,
+    gis_tiles,
+    payload_stream,
+    size_ladder,
+)
+from .ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    YCSBWorkload,
+    ZipfianGenerator,
+    ycsb_worker_body,
+)
+
+__all__ = [
+    "size_ladder",
+    "payload_stream",
+    "bag_of_tasks",
+    "gis_tiles",
+    "GISTile",
+    "YCSBWorkload",
+    "ZipfianGenerator",
+    "ycsb_worker_body",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+]

@@ -1,0 +1,117 @@
+"""Workload generators: payloads and task sets for benchmarks and examples."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..storage import KB, MB
+from ..storage.content import SyntheticContent
+
+__all__ = [
+    "size_ladder",
+    "payload_stream",
+    "bag_of_tasks",
+    "gis_tiles",
+    "GISTile",
+]
+
+
+def size_ladder(start: int = 4 * KB, stop: int = 64 * KB) -> List[int]:
+    """The paper's doubling size ladder: 4, 8, 16, 32, 64 KB."""
+    if start <= 0 or stop < start:
+        raise ValueError("need 0 < start <= stop")
+    sizes = []
+    size = start
+    while size <= stop:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def payload_stream(size: int, seed: int) -> Iterator[SyntheticContent]:
+    """An endless stream of distinct same-size payloads (seeded)."""
+    i = 0
+    while True:
+        yield SyntheticContent(size, seed=seed * 1_000_003 + i)
+        i += 1
+
+
+def bag_of_tasks(count: int, *, work_low: float = 0.01, work_high: float = 1.0,
+                 seed: int = 0) -> List[bytes]:
+    """Independent tasks with random service demands (seconds), as JSON.
+
+    The classic workload of the paper's Section III framework: a master
+    enqueues ``count`` task descriptors; workers pull and execute them.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    rng = np.random.default_rng(seed)
+    demands = rng.uniform(work_low, work_high, size=count)
+    return [
+        json.dumps({"task_id": i, "work_s": float(d)}).encode()
+        for i, d in enumerate(demands)
+    ]
+
+
+@dataclass(frozen=True)
+class GISTile:
+    """One tile of a Crayons-style GIS polygon-overlay job (paper [9]).
+
+    ``base_polygons``/``overlay_polygons`` set the compute demand of the
+    overlay; ``data_bytes`` the storage payload the worker must fetch.
+    """
+
+    tile_id: int
+    x: int
+    y: int
+    base_polygons: int
+    overlay_polygons: int
+    data_bytes: int
+
+    def to_message(self) -> bytes:
+        return json.dumps({
+            "tile_id": self.tile_id, "x": self.x, "y": self.y,
+            "base_polygons": self.base_polygons,
+            "overlay_polygons": self.overlay_polygons,
+            "data_bytes": self.data_bytes,
+        }).encode()
+
+    @staticmethod
+    def from_message(payload: bytes) -> "GISTile":
+        d = json.loads(payload.decode())
+        return GISTile(d["tile_id"], d["x"], d["y"], d["base_polygons"],
+                       d["overlay_polygons"], d["data_bytes"])
+
+
+def gis_tiles(grid: int = 8, *, mean_polygons: int = 400,
+              seed: int = 0) -> List[GISTile]:
+    """A ``grid x grid`` tiling with spatially clustered polygon density.
+
+    GIS overlay workloads are famously load-imbalanced — urban tiles carry
+    orders of magnitude more polygons than rural ones, and they *cluster*
+    (a city spans adjacent tiles).  Density combines a lognormal draw with
+    a Gaussian hotspot, so contiguous static partitions land entire hot
+    regions on one worker — exactly why the paper's queue-based task pool
+    (dynamic load balancing) beats static partitioning.
+    """
+    if grid < 1:
+        raise ValueError("grid must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Hotspot ("city center") somewhere in the interior of the map.
+    cx = rng.uniform(grid * 0.25, grid * 0.75)
+    cy = rng.uniform(grid * 0.25, grid * 0.75)
+    sigma = max(1.0, grid / 6)
+    tiles: List[GISTile] = []
+    for tile_id in range(grid * grid):
+        x, y = tile_id % grid, tile_id // grid
+        boost = 1.0 + 20.0 * float(
+            np.exp(-((x - cx) ** 2 + (y - cy) ** 2) / (2 * sigma ** 2)))
+        base = int(rng.lognormal(np.log(mean_polygons), 0.6) * boost)
+        over = int(rng.lognormal(np.log(mean_polygons), 0.6) * boost)
+        data = 16 * KB + 64 * (base + over)
+        tiles.append(GISTile(tile_id, x, y, base, over, data))
+    return tiles

@@ -1,0 +1,59 @@
+"""Direct tests for the reproduction-report generator."""
+
+import pytest
+
+from repro.bench import BenchScale, FigureRunner
+from repro.bench.reportgen import generate_report
+from repro.storage import KB
+
+TINY = BenchScale(
+    name="report-tiny",
+    worker_counts=(1, 2),
+    blob_total_chunks=4,
+    blob_repeats=1,
+    queue_total_messages=20,
+    queue_message_sizes=(4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB),
+    shared_total_transactions=20,
+    shared_think_times=(0.5, 1.0),
+    table_entity_count=5,
+    table_entity_sizes=(4 * KB, 64 * KB),
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(FigureRunner(TINY))
+
+
+class TestGenerateReport:
+    def test_sections_present(self, report):
+        assert "AzureBench reproduction report" in report
+        assert "Paper-vs-measured audit" in report
+        assert "Scalability analysis" in report
+
+    def test_every_figure_present(self, report):
+        for fig_id in ("Table I", "Fig 4a", "Fig 4b", "Fig 5a", "Fig 5b",
+                       "Fig 6a", "Fig 6b", "Fig 6c", "Fig 7a", "Fig 7b",
+                       "Fig 7c", "Fig 8a", "Fig 8b", "Fig 8c", "Fig 8d",
+                       "Fig 9"):
+            assert fig_id in report, fig_id
+
+    def test_charts_included_by_default(self, report):
+        # ASCII charts draw axes with +---- rules.
+        assert report.count("+" + "-" * 20) > 3
+
+    def test_charts_can_be_disabled(self):
+        text = generate_report(FigureRunner(TINY), charts=False)
+        assert "Fig 4a" in text
+        assert text.count("+" + "-" * 20) == 0
+
+    def test_audit_verdicts_present(self, report):
+        assert "blob_max_download_mbps" in report
+        assert "checks hold" in report
+
+    def test_analysis_lines(self, report):
+        assert "page upload" in report and "USL alpha=" in report
+        assert "table update" in report and "knee at" in report
+
+    def test_scale_named(self, report):
+        assert "report-tiny" in report

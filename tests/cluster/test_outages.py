@@ -1,0 +1,123 @@
+"""Tests for injected availability outages + simkit tracing."""
+
+import pytest
+
+from repro.cluster import Service
+from repro.sim import SimStorageAccount, retrying
+from repro.simkit import Environment
+from repro.storage import ServerBusyError
+from repro.storage.analytics import attach_analytics
+
+
+class TestOutages:
+    def test_service_outage_fails_ops(self):
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        account.cluster.inject_outage(Service.QUEUE, start=5.0, duration=10.0)
+        qc = account.queue_client()
+        outcomes = []
+
+        def body():
+            yield from qc.create_queue("vital")
+            yield env.timeout(6.0)  # land inside the outage window
+            try:
+                yield from qc.put_message("vital", b"x")
+                outcomes.append("ok")
+            except ServerBusyError:
+                outcomes.append("unavailable")
+
+        env.process(body())
+        env.run()
+        assert outcomes == ["unavailable"]
+
+    def test_retry_rides_through_outage(self):
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        account.cluster.inject_outage(Service.QUEUE, start=0.5, duration=4.0)
+        qc = account.queue_client()
+
+        def body():
+            yield from qc.create_queue("vital")
+            yield env.timeout(1.0)
+            yield from retrying(env, lambda: qc.put_message("vital", b"x"))
+            return env.now
+
+        p = env.process(body())
+        env.run()
+        # Landed after the outage ended at 4.5 via 1-second retries.
+        assert p.value >= 4.5
+        assert account.state.queues.get_queue("vital") \
+            .approximate_message_count() == 1
+
+    def test_partition_scoped_outage(self):
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        account.cluster.inject_outage(Service.QUEUE, start=0.0, duration=100.0,
+                                      partition="down-queue")
+        qc = account.queue_client()
+        results = {}
+
+        def body():
+            # The broken partition fails...
+            try:
+                yield from qc.create_queue("down-queue")
+                results["down"] = "ok"
+            except ServerBusyError:
+                results["down"] = "unavailable"
+            # ...while a sibling queue works fine.
+            yield from qc.create_queue("up-queue")
+            yield from qc.put_message("up-queue", b"x")
+            results["up"] = "ok"
+
+        env.process(body())
+        env.run()
+        assert results == {"down": "unavailable", "up": "ok"}
+
+    def test_outage_visible_in_analytics(self):
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        log, metrics = attach_analytics(account.cluster)
+        account.cluster.inject_outage(Service.TABLE, start=0.0, duration=2.0)
+        tc = account.table_client()
+
+        def body():
+            yield from retrying(env, lambda: tc.create_table("Audit"))
+            yield from retrying(env, lambda: tc.insert(
+                "Audit", "p", "r", {"V": 1}))
+
+        env.process(body())
+        env.run()
+        cell = metrics.cell(0, "table")
+        assert cell.total_throttles >= 2  # the outage rejections
+        assert cell.availability < 1.0
+        assert any(r.error_code == "ServerBusy" for r in log)
+
+    def test_validation(self):
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        with pytest.raises(ValueError):
+            account.cluster.inject_outage(Service.BLOB, 0.0, 0.0)
+
+
+class TestTracer:
+    def test_tracer_sees_every_event(self):
+        env = Environment()
+        seen = []
+        env.tracer = lambda t, e: seen.append((t, type(e).__name__))
+        env.timeout(1)
+        env.timeout(2)
+        env.run()
+        assert [t for t, _ in seen] == [1, 2]
+        assert env.events_processed == 2
+
+    def test_events_processed_counts(self):
+        env = Environment()
+
+        def proc(env):
+            for _ in range(3):
+                yield env.timeout(1)
+
+        env.process(proc(env))
+        env.run()
+        # 1 init event + 3 timeouts + 1 process-end event.
+        assert env.events_processed == 5

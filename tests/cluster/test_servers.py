@@ -1,0 +1,102 @@
+"""Tests for partition servers and server pools (stats and placement)."""
+
+import pytest
+
+from repro.cluster import PartitionServer, ServerPool
+from repro.simkit import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPartitionServer:
+    def test_serve_records_stats(self, env):
+        server = PartitionServer(env, "s1", slots=1)
+
+        def client(env, occupancy, nbytes):
+            yield from server.serve(occupancy, nbytes)
+
+        env.process(client(env, 2.0, 100))
+        env.process(client(env, 3.0, 200))
+        env.run()
+        assert server.ops_served == 2
+        assert server.bytes_served == 300
+        assert server.service_times.total == pytest.approx(5.0)
+        # Second client waited for the first.
+        assert server.wait_times.max == pytest.approx(2.0)
+        assert server.wait_times.min == 0.0
+
+    def test_queue_length_under_load(self, env):
+        server = PartitionServer(env, "s1", slots=1)
+        lengths = []
+
+        def client(env):
+            yield from server.serve(5.0)
+
+        def observer(env):
+            yield env.timeout(1.0)
+            lengths.append(server.queue_length)
+
+        for _ in range(4):
+            env.process(client(env))
+        env.process(observer(env))
+        env.run()
+        assert lengths == [3]
+
+    def test_utilization_tracked(self, env):
+        server = PartitionServer(env, "s1", slots=1)
+
+        def client(env):
+            yield from server.serve(4.0)
+
+        def idle_then_done(env):
+            yield env.timeout(10.0)
+
+        env.process(client(env))
+        env.process(idle_then_done(env))
+        env.run()
+        assert server.utilization.busy_time == pytest.approx(4.0)
+        assert server.utilization.utilization == pytest.approx(0.4)
+
+    def test_parallel_slots(self, env):
+        server = PartitionServer(env, "s2", slots=4)
+        done = []
+
+        def client(env, i):
+            yield from server.serve(1.0)
+            done.append((i, env.now))
+
+        for i in range(4):
+            env.process(client(env, i))
+        env.run()
+        assert all(t == 1.0 for _, t in done)
+
+
+class TestServerPool:
+    def test_unsharded_pool_is_per_partition(self, env):
+        pool = ServerPool(env, "p", 4)
+        servers = {id(pool.server_for(f"part-{i}")) for i in range(20)}
+        assert len(servers) == 20
+        assert len(pool) == 20
+
+    def test_sharded_pool_caps_server_count(self, env):
+        pool = ServerPool(env, "p", 4, shards=3)
+        for i in range(50):
+            pool.server_for(f"part-{i}")
+        assert len(pool) <= 3
+
+    def test_hash_is_deterministic_across_pools(self, env):
+        a = ServerPool(env, "a", 4, shards=7)
+        b = ServerPool(Environment(), "b", 4, shards=7)
+        for key in ("alpha", "beta", "gamma"):
+            assert a._server_key(key) == b._server_key(key)
+
+    def test_servers_snapshot(self, env):
+        pool = ServerPool(env, "p", 2)
+        pool.server_for("x")
+        snapshot = pool.servers
+        assert list(snapshot) == ["x"]
+        snapshot["y"] = None  # mutating the copy must not affect the pool
+        assert len(pool) == 1

@@ -1,0 +1,200 @@
+"""Tests for TCP endpoints and the provisioning model."""
+
+import pytest
+
+from repro.compute import (
+    Deployment,
+    EXTRA_LARGE,
+    Endpoint,
+    EndpointError,
+    EndpointRegistry,
+    ProvisioningModel,
+    SMALL,
+    provisioned_start,
+)
+from repro.sim import SimStorageAccount
+from repro.simkit import AllOf, Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEndpoints:
+    def test_send_recv(self, env):
+        reg = EndpointRegistry(env, seed=1)
+        inbox = reg.register("dst")
+
+        def sender():
+            yield from reg.send("src", "dst", b"hello")
+
+        def receiver():
+            msg = yield from inbox.recv()
+            return msg
+
+        env.process(sender())
+        p = env.process(receiver())
+        env.run()
+        msg = p.value
+        assert msg.source == "src" and msg.payload == b"hello"
+        assert msg.latency > 0
+
+    def test_unknown_target_fails_fast(self, env):
+        reg = EndpointRegistry(env, seed=1)
+
+        def sender():
+            yield from reg.send("src", "nowhere", b"x")
+
+        env.process(sender())
+        with pytest.raises(EndpointError):
+            env.run()
+
+    def test_duplicate_registration(self, env):
+        reg = EndpointRegistry(env, seed=1)
+        reg.register("a")
+        with pytest.raises(EndpointError):
+            reg.register("a")
+
+    def test_unregister_allows_reuse(self, env):
+        reg = EndpointRegistry(env, seed=1)
+        ep = reg.register("a")
+        ep.close()
+        reg.register("a")  # no error
+        assert reg.names() == ("a",)
+
+    def test_messages_to_closed_endpoint_dropped(self, env):
+        reg = EndpointRegistry(env, seed=1)
+        ep = reg.register("dst")
+
+        def sender():
+            yield from reg.send("src", "dst", b"x")
+            ep.close()
+
+        env.process(sender())
+        env.run()  # no crash; message dropped like a RST
+        assert ep.pending == 0
+
+    def test_bandwidth_charges_sender(self, env):
+        reg = EndpointRegistry(env, latency_s=0.0, jitter_sigma=0,
+                               bandwidth_bytes_per_s=1000, seed=1)
+        reg.register("dst")
+
+        def sender():
+            yield from reg.send("src", "dst", b"x" * 500)
+            return env.now
+
+        p = env.process(sender())
+        env.run()
+        assert p.value == pytest.approx(0.5)  # 500 B at 1000 B/s
+
+    def test_fifo_delivery_per_pair(self, env):
+        reg = EndpointRegistry(env, jitter_sigma=0, seed=1)
+        inbox = reg.register("dst")
+        got = []
+
+        def sender():
+            for i in range(5):
+                yield from reg.send("src", "dst", bytes([i]))
+
+        def receiver():
+            for _ in range(5):
+                msg = yield from inbox.recv()
+                got.append(msg.payload[0])
+
+        env.process(sender())
+        env.process(receiver())
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_try_recv_and_pending(self, env):
+        reg = EndpointRegistry(env, seed=1)
+        inbox = reg.register("dst")
+        assert inbox.try_recv() is None
+
+        def sender():
+            yield from reg.send("src", "dst", b"a")
+            yield from reg.send("src", "dst", b"b")
+
+        env.process(sender())
+        env.run()
+        assert inbox.pending == 2
+        assert inbox.try_recv().payload == b"a"
+        assert inbox.pending == 1
+
+    def test_counters(self, env):
+        reg = EndpointRegistry(env, seed=1)
+        reg.register("dst")
+
+        def sender():
+            yield from reg.send("src", "dst", b"x" * 100)
+
+        env.process(sender())
+        env.run()
+        assert reg.messages_sent == 1
+        assert reg.bytes_sent == 100
+
+    def test_parameter_validation(self, env):
+        with pytest.raises(ValueError):
+            EndpointRegistry(env, latency_s=-1)
+        with pytest.raises(ValueError):
+            EndpointRegistry(env, bandwidth_bytes_per_s=0)
+
+
+class TestProvisioning:
+    def test_means_scale_with_size(self):
+        model = ProvisioningModel(seed=1, sigma=0)
+        assert model.mean_seconds(EXTRA_LARGE) > model.mean_seconds(SMALL)
+
+    def test_batch_penalty(self):
+        model = ProvisioningModel(seed=1, sigma=0,
+                                  batch_penalty_s_per_instance=3.0)
+        assert model.mean_seconds(SMALL, batch_size=11) == \
+            model.mean_seconds(SMALL, batch_size=1) + 30.0
+
+    def test_zero_sigma_is_deterministic(self):
+        model = ProvisioningModel(seed=1, sigma=0)
+        assert model.draw(SMALL) == model.draw(SMALL)
+
+    def test_draws_seeded(self):
+        a = [ProvisioningModel(seed=7).draw(SMALL) for _ in range(3)]
+        b = [ProvisioningModel(seed=7).draw(SMALL) for _ in range(3)]
+        assert a == b
+
+    def test_unknown_size_rejected(self):
+        from repro.compute.vmsizes import VMSize
+        weird = VMSize("Quantum", 128, 1, 1, 1)
+        with pytest.raises(KeyError):
+            ProvisioningModel().mean_seconds(weird)
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            ProvisioningModel(sigma=-1)
+
+    def test_provisioned_start_runs_bodies(self, env):
+        account = SimStorageAccount(env, seed=2)
+
+        def body(ctx):
+            yield ctx.sleep(1)
+            return ctx.role_id
+
+        d = Deployment(env, account, body, instances=4, vm_size=SMALL)
+        ready, record = provisioned_start(d, ProvisioningModel(seed=3))
+        env.run(until=ready)
+        assert d.results() == [0, 1, 2, 3]
+        assert record.requested == 4
+        assert 0 < record.first_ready_at <= record.all_ready_at
+        assert len(record.per_instance) == 4
+        # Minutes-scale startup.
+        assert record.first_ready_at > 60
+
+    def test_provisioned_start_rejects_started(self, env):
+        account = SimStorageAccount(env, seed=2)
+
+        def body(ctx):
+            yield ctx.sleep(1)
+
+        d = Deployment(env, account, body, instances=1)
+        d.start()
+        with pytest.raises(RuntimeError):
+            provisioned_start(d, ProvisioningModel())

@@ -1,0 +1,119 @@
+"""Tests for benchmark metrics containers."""
+
+import pytest
+
+from repro.core import BenchResult, PhaseRecorder
+from repro.simkit import Environment
+from repro.storage import MB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPhaseRecorder:
+    def test_records_phase(self, env):
+        rec = PhaseRecorder(env, worker_id=0)
+
+        def proc(env):
+            rec.start("upload")
+            yield env.timeout(4)
+            rec.add_op(nbytes=100)
+            rec.add_op(nbytes=200)
+            rec.stop()
+
+        env.process(proc(env))
+        env.run()
+        (r,) = rec.records
+        assert r.name == "upload" and r.duration == 4
+        assert r.ops == 2 and r.nbytes == 300
+
+    def test_nested_start_rejected(self, env):
+        rec = PhaseRecorder(env, 0)
+        rec.start("a")
+        with pytest.raises(RuntimeError):
+            rec.start("b")
+
+    def test_stop_without_start_rejected(self, env):
+        rec = PhaseRecorder(env, 0)
+        with pytest.raises(RuntimeError):
+            rec.stop()
+
+    def test_add_op_without_phase_rejected(self, env):
+        rec = PhaseRecorder(env, 0)
+        with pytest.raises(RuntimeError):
+            rec.add_op()
+
+    def test_retries_tracked(self, env):
+        rec = PhaseRecorder(env, 0)
+        rec.start("x")
+        rec.add_retry()
+        rec.add_retry()
+        r = rec.stop()
+        assert r.retries == 2
+
+    def test_record_span(self, env):
+        rec = PhaseRecorder(env, 3)
+
+        def proc(env):
+            yield env.timeout(10)
+            rec.record_span("acc", 2.5, ops=7, nbytes=70)
+
+        env.process(proc(env))
+        env.run()
+        (r,) = rec.records
+        assert r.start == 7.5 and r.end == 10 and r.ops == 7
+
+    def test_record_span_negative_rejected(self, env):
+        rec = PhaseRecorder(env, 0)
+        with pytest.raises(ValueError):
+            rec.record_span("x", -1)
+
+
+class TestBenchResult:
+    def make_result(self, env):
+        recs = []
+        for wid, (start, end, nbytes) in enumerate(
+                [(0, 10, 5 * MB), (2, 12, 5 * MB)]):
+            rec = PhaseRecorder(env, wid)
+            rec.record_span("phase", 0)
+            rec.records[0].start = start
+            rec.records[0].end = end
+            rec.records[0].ops = 5
+            rec.records[0].nbytes = nbytes
+            recs.append(rec)
+        return BenchResult(2, recs, label="test")
+
+    def test_phase_stats(self, env):
+        result = self.make_result(env)
+        stats = result.phase("phase")
+        assert stats.wall_time == 12  # max end - min start
+        assert stats.mean_worker_time == 10
+        assert stats.max_worker_time == 10
+        assert stats.total_ops == 10
+        assert stats.total_bytes == 10 * MB
+        assert stats.throughput_mb_per_s == pytest.approx(10 / 12)
+        assert stats.ops_per_s == pytest.approx(10 / 12)
+        assert stats.mean_op_time == pytest.approx(10 * 2 / 10)
+
+    def test_missing_phase(self, env):
+        result = self.make_result(env)
+        with pytest.raises(KeyError):
+            result.phase("ghost")
+        assert not result.has_phase("ghost")
+        assert result.has_phase("phase")
+
+    def test_phase_names_and_all_stats(self, env):
+        result = self.make_result(env)
+        assert result.phase_names() == ["phase"]
+        assert set(result.all_stats()) == {"phase"}
+
+    def test_zero_wall_time(self, env):
+        rec = PhaseRecorder(env, 0)
+        rec.record_span("empty", 0)
+        result = BenchResult(1, [rec])
+        stats = result.phase("empty")
+        assert stats.throughput_bytes_per_s == 0.0
+        assert stats.ops_per_s == 0.0
+        assert stats.mean_op_time == 0.0

@@ -1,0 +1,174 @@
+"""Tests for the queue-based barrier (paper Algorithm 2)."""
+
+import pytest
+
+from repro.framework import QueueBarrier
+from repro.sim import SimStorageAccount
+from repro.simkit import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def account(env):
+    return SimStorageAccount(env, seed=5)
+
+
+def launch_workers(env, account, n, body):
+    procs = []
+    for wid in range(n):
+        qc = account.queue_client()
+        barrier = QueueBarrier(qc, "bar-queue", n, env=env)
+        procs.append(env.process(body(env, barrier, wid)))
+    return procs
+
+
+class TestBarrier:
+    def test_no_worker_crosses_early(self, env, account):
+        events = []
+
+        def body(env, barrier, wid):
+            yield from barrier.ensure_queue()
+            yield env.timeout(wid * 2.0)  # staggered arrivals
+            events.append(("arrive", wid, env.now))
+            yield from barrier.wait()
+            events.append(("cross", wid, env.now))
+
+        launch_workers(env, account, 4, body)
+        env.run()
+        last_arrival = max(t for k, _, t in events if k == "arrive")
+        first_cross = min(t for k, _, t in events if k == "cross")
+        assert first_cross >= last_arrival
+
+    def test_multiple_phases(self, env, account):
+        phase_log = []
+
+        def body(env, barrier, wid):
+            yield from barrier.ensure_queue()
+            for phase in range(3):
+                yield env.timeout(0.5 * (wid + 1))
+                yield from barrier.wait()
+                phase_log.append((phase, wid, env.now))
+
+        launch_workers(env, account, 3, body)
+        env.run()
+        # For each phase, all crossings happen before any next-phase arrival
+        # completes its barrier.
+        for phase in range(2):
+            this_phase = [t for p, _, t in phase_log if p == phase]
+            next_phase = [t for p, _, t in phase_log if p == phase + 1]
+            assert max(this_phase) <= min(next_phase)
+
+    def test_sync_count_advances(self, env, account):
+        def body(env, barrier, wid):
+            yield from barrier.ensure_queue()
+            yield from barrier.wait()
+            yield from barrier.wait()
+            return barrier.sync_count
+
+        procs = launch_workers(env, account, 2, body)
+        env.run()
+        assert [p.value for p in procs] == [2, 2]
+
+    def test_explicit_sync_count(self, env, account):
+        def body(env, barrier, wid):
+            yield from barrier.ensure_queue()
+            yield from barrier.wait(1)
+            yield from barrier.wait(2)
+            return barrier.sync_count
+
+        procs = launch_workers(env, account, 2, body)
+        env.run()
+        assert all(p.value == 2 for p in procs)
+
+    def test_stale_sync_count_rejected(self, env, account):
+        def body(env, barrier, wid):
+            yield from barrier.ensure_queue()
+            yield from barrier.wait(1)
+            try:
+                yield from barrier.wait(1)
+            except ValueError:
+                return "rejected"
+
+        procs = launch_workers(env, account, 1, body)
+        env.run()
+        assert procs[0].value == "rejected"
+
+    def test_single_worker_fast_path(self, env, account):
+        def body(env, barrier, wid):
+            yield from barrier.ensure_queue()
+            yield from barrier.wait()
+            return env.now
+
+        procs = launch_workers(env, account, 1, body)
+        env.run()
+        # One worker: first count poll already satisfies the barrier.
+        assert procs[0].value < 1.0
+
+    def test_time_in_barrier_accumulates(self, env, account):
+        def body(env, barrier, wid):
+            yield from barrier.ensure_queue()
+            yield env.timeout(wid * 3.0)
+            yield from barrier.wait()
+            return barrier.time_in_barrier
+
+        procs = launch_workers(env, account, 3, body)
+        env.run()
+        times = [p.value for p in procs]
+        # The earliest arriver waited the longest.
+        assert times[0] > times[-1]
+
+    def test_messages_survive_barrier_queue(self, env, account):
+        """Barrier messages are never deleted (the paper's core trick)."""
+        def body(env, barrier, wid):
+            yield from barrier.ensure_queue()
+            yield from barrier.wait()
+            yield from barrier.wait()
+
+        launch_workers(env, account, 2, body)
+        env.run()
+        q = account.state.queues.get_queue("bar-queue")
+        assert q.approximate_message_count() == 4  # 2 workers x 2 phases
+
+    def test_workers_validation(self, account):
+        with pytest.raises(ValueError):
+            QueueBarrier(account.queue_client(), "bar-queue", 0)
+
+
+class TestBarrierProperty:
+    def test_random_arrival_patterns(self):
+        """Hypothesis-style sweep: random stagger patterns never let any
+        worker cross phase k before every worker arrived at phase k."""
+        import numpy as np
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            env = Environment()
+            account = SimStorageAccount(env, seed=seed)
+            n = int(rng.integers(2, 6))
+            phases = int(rng.integers(1, 4))
+            staggers = rng.uniform(0, 3, size=(n, phases))
+            events = []
+
+            def body(env, account, wid):
+                qc = account.queue_client()
+                b = QueueBarrier(qc, "bar-queue", n, env=env)
+                yield from b.ensure_queue()
+                for phase in range(phases):
+                    yield env.timeout(float(staggers[wid][phase]))
+                    events.append(("arrive", phase, wid, env.now))
+                    yield from b.wait()
+                    events.append(("cross", phase, wid, env.now))
+
+            for w in range(n):
+                env.process(body(env, account, w))
+            env.run()
+            for phase in range(phases):
+                arrivals = [t for k, p, _, t in events
+                            if k == "arrive" and p == phase]
+                crossings = [t for k, p, _, t in events
+                             if k == "cross" and p == phase]
+                assert len(arrivals) == len(crossings) == n
+                assert min(crossings) >= max(arrivals), (seed, phase)

@@ -1,0 +1,77 @@
+"""Tests for the threaded task pool over the emulator."""
+
+import time
+
+import pytest
+
+from repro.emulator import EmulatorAccount
+from repro.framework import TaskPoolConfig, ThreadedTaskPool
+
+
+@pytest.fixture
+def account():
+    return EmulatorAccount()
+
+
+class TestThreadedTaskPool:
+    def test_processes_all_tasks(self, account):
+        pool = ThreadedTaskPool(
+            account, TaskPoolConfig(name="thr", idle_poll_interval=0.01),
+            handler=lambda payload: payload.upper())
+        tasks = [f"task-{i}".encode() for i in range(20)]
+        results = pool.run(tasks, workers=4, poll_interval=0.01)
+        assert sorted(r.payload for r in results) == \
+            sorted(t.upper() for t in tasks)
+        assert sum(pool.processed_per_worker) == 20
+
+    def test_multiple_queues(self, account):
+        pool = ThreadedTaskPool(
+            account, TaskPoolConfig(name="thr", task_queues=3,
+                                    idle_poll_interval=0.01),
+            handler=lambda payload: payload)
+        results = pool.run([b"a", b"b", b"c", b"d"], workers=2,
+                           poll_interval=0.01)
+        assert len(results) == 4
+
+    def test_side_effect_only(self, account):
+        seen = []
+        pool = ThreadedTaskPool(
+            account, TaskPoolConfig(name="thr", collect_results=False,
+                                    idle_poll_interval=0.01),
+            handler=lambda payload: seen.append(payload))
+        results = pool.run([b"x", b"y"], workers=2, poll_interval=0.01)
+        assert results == []
+        assert sorted(seen) == [b"x", b"y"]
+
+    def test_slow_task_redelivered_then_dead_lettered(self, account):
+        """A task that outlives its visibility timeout re-delivers until
+        the dequeue cutoff parks it on the dead-letter queue; good tasks
+        complete normally."""
+
+        def slow_on_bad(payload):
+            if payload == b"BAD":
+                time.sleep(0.3)   # outlives the 0.2 s visibility timeout
+                return None       # never reports a result for BAD
+            return payload
+
+        pool = ThreadedTaskPool(
+            account, TaskPoolConfig(name="thr2", visibility_timeout=0.2,
+                                    idle_poll_interval=0.01,
+                                    max_dequeue_count=2),
+            handler=slow_on_bad)
+        results = pool.run([b"ok-1", b"BAD", b"ok-2"], workers=2,
+                           poll_interval=0.01)
+        payloads = sorted(r.payload for r in results)
+        assert b"ok-1" in payloads and b"ok-2" in payloads
+
+    def test_single_worker(self, account):
+        pool = ThreadedTaskPool(
+            account, TaskPoolConfig(name="thr", idle_poll_interval=0.01),
+            handler=lambda p: p)
+        assert len(pool.run([b"only"], workers=1, poll_interval=0.01)) == 1
+
+    def test_workers_validation(self, account):
+        pool = ThreadedTaskPool(account, TaskPoolConfig(name="thr"),
+                                handler=lambda p: p)
+        with pytest.raises(ValueError):
+            pool.run([b"x"], workers=0)

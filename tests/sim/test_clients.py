@@ -1,0 +1,326 @@
+"""Integration tests for the simulated storage clients."""
+
+import pytest
+
+from repro.sim import SimStorageAccount, retrying
+from repro.simkit import Environment
+from repro.storage import (
+    KB,
+    MB,
+    LIMITS_2012,
+    ServerBusyError,
+    random_content,
+)
+from repro.storage.table import BatchOperation
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def account(env):
+    return SimStorageAccount(env, seed=11)
+
+
+def run(env, gen):
+    """Run one client generator to completion, return its value."""
+    p = env.process(gen)
+    env.run()
+    return p.value
+
+
+class TestSimBlobClient:
+    def test_block_blob_roundtrip(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            yield from blob.put_block("cont", "bb", "b1", b"hello ")
+            yield from blob.put_block("cont", "bb", "b2", b"world")
+            yield from blob.put_block_list("cont", "bb", ["b1", "b2"])
+            content = yield from blob.download_block_blob("cont", "bb")
+            return content.to_bytes()
+
+        assert run(env, body()) == b"hello world"
+        assert env.now > 0
+
+    def test_page_blob_roundtrip(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            yield from blob.create_page_blob("cont", "pb", 1 * MB)
+            yield from blob.put_page("cont", "pb", 512, b"x" * 512)
+            content = yield from blob.get_page("cont", "pb", 512, 512)
+            return content.to_bytes()
+
+        assert run(env, body()) == b"x" * 512
+
+    def test_get_block_sequentially(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            for i in range(3):
+                yield from blob.put_block("cont", "bb", f"b{i}", bytes([i]) * 4)
+            yield from blob.put_block_list("cont", "bb", [f"b{i}" for i in range(3)])
+            out = []
+            for i in range(blob.block_count("cont", "bb")):
+                c = yield from blob.get_block("cont", "bb", i)
+                out.append(c.to_bytes())
+            return out
+
+        assert run(env, body()) == [b"\x00" * 4, b"\x01" * 4, b"\x02" * 4]
+
+    def test_download_page_blob_charges_written_only(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            yield from blob.create_page_blob("cont", "pb", 64 * MB)
+            yield from blob.put_page("cont", "pb", 0, b"y" * 512)
+            t0 = env.now
+            content = yield from blob.download_page_blob("cont", "pb")
+            return env.now - t0, content.size
+
+        elapsed, size = run(env, body())
+        assert size == 64 * MB          # reads report the full extent
+        assert elapsed < 1.0            # but only 512 written bytes were moved
+
+    def test_delete_blob(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            yield from blob.upload_blob("cont", "bb", b"x")
+            yield from blob.delete_blob("cont", "bb")
+
+        run(env, body())
+        assert account.state.blobs.get_container("cont").list_blobs() == []
+
+
+class TestSimQueueClient:
+    def test_message_lifecycle(self, env, account):
+        qc = account.queue_client()
+
+        def body():
+            yield from qc.create_queue("tasks")
+            yield from qc.put_message("tasks", b"m1")
+            peeked = yield from qc.peek_message("tasks")
+            got = yield from qc.get_message("tasks", visibility_timeout=60)
+            yield from qc.delete_message("tasks", got.message_id, got.pop_receipt)
+            count = yield from qc.get_message_count("tasks")
+            return peeked.content.to_bytes(), got.content.to_bytes(), count
+
+        peeked, got, count = run(env, body())
+        assert peeked == got == b"m1"
+        assert count == 0
+
+    def test_concurrent_consumers_get_distinct_messages(self, env, account):
+        qc = account.queue_client()
+        got = []
+
+        def producer():
+            yield from qc.create_queue("tasks")
+            for i in range(10):
+                yield from qc.put_message("tasks", f"m{i}".encode())
+
+        def consumer():
+            yield env.timeout(2)
+            for _ in range(5):
+                m = yield from qc.get_message("tasks", visibility_timeout=600)
+                if m is not None:
+                    got.append(m.content.to_bytes())
+
+        env.process(producer())
+        env.process(consumer())
+        env.process(consumer())
+        env.run()
+        assert len(got) == 10
+        assert len(set(got)) == 10  # no duplicates: invisibility works
+
+    def test_update_message(self, env, account):
+        qc = account.queue_client()
+
+        def body():
+            yield from qc.create_queue("tasks")
+            yield from qc.put_message("tasks", b"old")
+            m = yield from qc.get_message("tasks", visibility_timeout=60)
+            yield from qc.update_message("tasks", m.message_id, m.pop_receipt,
+                                         b"new", visibility_timeout=0)
+            m2 = yield from qc.get_message("tasks", visibility_timeout=60)
+            return m2.content.to_bytes()
+
+        assert run(env, body()) == b"new"
+
+
+class TestSimTableClient:
+    def test_crud_lifecycle(self, env, account):
+        tc = account.table_client()
+
+        def body():
+            yield from tc.create_table("Tab")
+            yield from tc.insert("Tab", "p", "r", {"V": 1})
+            e = yield from tc.get("Tab", "p", "r")
+            yield from tc.update("Tab", "p", "r", {"V": 2})
+            yield from tc.merge("Tab", "p", "r", {"W": 3})
+            e2 = yield from tc.get("Tab", "p", "r")
+            yield from tc.delete("Tab", "p", "r")
+            return e["V"], e2.properties()
+
+        v, props = run(env, body())
+        assert v == 1
+        assert props == {"V": 2, "W": 3}
+
+    def test_query_partition(self, env, account):
+        tc = account.table_client()
+
+        def body():
+            yield from tc.create_table("Tab")
+            for i in range(5):
+                yield from tc.insert("Tab", "p", f"r{i}", {"V": i})
+            rows = yield from tc.query_partition("Tab", "p", "V ge 3")
+            return [e["V"] for e in rows]
+
+        assert run(env, body()) == [3, 4]
+
+    def test_batch(self, env, account):
+        tc = account.table_client()
+
+        def body():
+            yield from tc.create_table("Tab")
+            yield from tc.execute_batch("Tab", [
+                BatchOperation("insert", "p", "r1", {"V": 1}),
+                BatchOperation("insert", "p", "r2", {"V": 2}),
+            ])
+            e = yield from tc.get("Tab", "p", "r2")
+            return e["V"]
+
+        assert run(env, body()) == 2
+
+
+class TestRetrying:
+    def test_retries_on_server_busy(self, env):
+        account = SimStorageAccount(
+            env, limits=LIMITS_2012.with_overrides(
+                partition_entities_per_second=2),
+            seed=3)
+        tc = account.table_client()
+        retry_log = []
+
+        def body():
+            yield from tc.create_table("Tab")
+            for i in range(6):
+                yield from retrying(
+                    env, lambda i=i: tc.insert("Tab", "hot", f"r{i}", {}),
+                    on_retry=lambda n, e: retry_log.append(n))
+            return env.now
+
+        t = run(env, body())
+        assert retry_log  # throttle was hit
+        assert t > 1.0    # the 1-second back-offs happened
+        assert account.state.tables.get_table("Tab").entity_count() == 6
+
+    def test_max_retries_exceeded(self, env):
+        account = SimStorageAccount(
+            env, limits=LIMITS_2012.with_overrides(
+                queue_messages_per_second=1),
+            seed=3)
+        qc = account.queue_client()
+
+        def hammer():
+            yield from qc.create_queue("hot")
+            yield from qc.put_message("hot", b"1")
+            # The throttle admits 1/s; with zero-length retry gaps capped at
+            # max_retries we must eventually give up.
+            try:
+                for _ in range(10):
+                    yield from retrying(
+                        env, lambda: qc.put_message("hot", b"x"),
+                        max_retries=0)
+                return "no error"
+            except ServerBusyError:
+                return "gave up"
+
+        assert run(env, hammer()) == "gave up"
+
+    def test_returns_result(self, env, account):
+        qc = account.queue_client()
+
+        def body():
+            yield from qc.create_queue("q-x")
+            msg = yield from retrying(env, lambda: qc.put_message("q-x", b"v"))
+            return msg.content.to_bytes()
+
+        assert run(env, body()) == b"v"
+
+
+class TestSimTableUpserts:
+    def test_insert_or_replace(self, env, account):
+        tc = account.table_client()
+
+        def body():
+            yield from tc.create_table("Ups")
+            yield from tc.insert_or_replace("Ups", "p", "r", {"A": 1})
+            yield from tc.insert_or_replace("Ups", "p", "r", {"B": 2})
+            e = yield from tc.get("Ups", "p", "r")
+            return e.properties()
+
+        assert run(env, body()) == {"B": 2}
+
+    def test_insert_or_merge(self, env, account):
+        tc = account.table_client()
+
+        def body():
+            yield from tc.create_table("Ups")
+            yield from tc.insert_or_merge("Ups", "p", "r", {"A": 1})
+            yield from tc.insert_or_merge("Ups", "p", "r", {"B": 2})
+            e = yield from tc.get("Ups", "p", "r")
+            return e.properties()
+
+        assert run(env, body()) == {"A": 1, "B": 2}
+
+
+class TestBatchGet:
+    def test_sim_batch_get(self, env, account):
+        qc = account.queue_client()
+
+        def body():
+            yield from qc.create_queue("batch")
+            for i in range(10):
+                yield from qc.put_message("batch", f"m{i}".encode())
+            t0 = env.now
+            got = yield from qc.get_messages("batch", 8,
+                                             visibility_timeout=60)
+            batch_time = env.now - t0
+            return [m.content.to_bytes() for m in got], batch_time
+
+        payloads, batch_time = run(env, body())
+        assert payloads == [f"m{i}".encode() for i in range(8)]
+        # One round trip, not eight.
+        assert batch_time < 8 * 0.03
+
+    def test_sim_batch_get_validation(self, env, account):
+        qc = account.queue_client()
+
+        def body():
+            yield from qc.create_queue("batch")
+            yield from qc.get_messages("batch", 33)
+
+        with pytest.raises(ValueError):
+            run(env, body())
+
+    def test_emulator_batch_get(self):
+        from repro.emulator import EmulatorAccount
+        account = EmulatorAccount()
+        qc = account.queue_client()
+        qc.create_queue("batch")
+        for i in range(5):
+            qc.put_message("batch", f"m{i}".encode())
+        got = qc.get_messages("batch", 3, visibility_timeout=60)
+        assert len(got) == 3
+        assert qc.get_message_count("batch") == 5  # invisible, not deleted
+        with pytest.raises(ValueError):
+            qc.get_messages("batch", 0)

@@ -1,0 +1,128 @@
+"""Tests for lease/snapshot operations through both client backends."""
+
+import pytest
+
+from repro.emulator import EmulatorAccount
+from repro.sim import SimStorageAccount
+from repro.simkit import Environment
+from repro.storage import InvalidOperationError, LeaseConflictError, ManualClock
+
+
+class TestSimLeaseClient:
+    @pytest.fixture
+    def env(self):
+        return Environment()
+
+    @pytest.fixture
+    def account(self, env):
+        return SimStorageAccount(env, seed=19)
+
+    def run(self, env, gen):
+        p = env.process(gen)
+        env.run()
+        return p.value
+
+    def test_lease_lifecycle(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            yield from blob.upload_blob("cont", "locked", b"v1")
+            lease = yield from blob.acquire_lease("cont", "locked")
+            # Writes without the lease id are rejected by the data plane.
+            try:
+                yield from blob.upload_blob("cont", "locked", b"intruder")
+                stolen = True
+            except LeaseConflictError:
+                stolen = False
+            yield from blob.renew_lease("cont", "locked", lease)
+            yield from blob.release_lease("cont", "locked", lease)
+            yield from blob.upload_blob("cont", "locked", b"v2")
+            content = yield from blob.download_block_blob("cont", "locked")
+            return stolen, content.to_bytes()
+
+        stolen, final = self.run(env, body())
+        assert not stolen
+        assert final == b"v2"
+
+    def test_lease_ops_cost_time(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            yield from blob.upload_blob("cont", "locked", b"v")
+            t0 = env.now
+            lease = yield from blob.acquire_lease("cont", "locked")
+            yield from blob.release_lease("cont", "locked", lease)
+            return env.now - t0
+
+        assert self.run(env, body()) > 0
+
+    def test_snapshot_roundtrip(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            yield from blob.upload_blob("cont", "doc", b"old")
+            snap = yield from blob.snapshot_blob("cont", "doc")
+            yield from blob.upload_blob("cont", "doc", b"new")
+            old = yield from blob.download_snapshot("cont", "doc",
+                                                    snap.snapshot_id)
+            current = yield from blob.download_block_blob("cont", "doc")
+            return old.to_bytes(), current.to_bytes()
+
+        assert self.run(env, body()) == (b"old", b"new")
+
+    def test_delete_with_snapshots_flag(self, env, account):
+        blob = account.blob_client()
+
+        def body():
+            yield from blob.create_container("cont")
+            yield from blob.upload_blob("cont", "doc", b"x")
+            yield from blob.snapshot_blob("cont", "doc")
+            try:
+                yield from blob.delete_blob("cont", "doc")
+                return "deleted"
+            except InvalidOperationError:
+                yield from blob.delete_blob("cont", "doc",
+                                            delete_snapshots=True)
+                return "needed flag"
+
+        assert self.run(env, body()) == "needed flag"
+
+
+class TestEmulatorLeaseClient:
+    @pytest.fixture
+    def account(self):
+        return EmulatorAccount(clock=ManualClock())
+
+    def test_lease_lifecycle(self, account):
+        blob = account.blob_client()
+        blob.create_container("cont")
+        blob.upload_blob("cont", "locked", b"v1")
+        lease = blob.acquire_lease("cont", "locked")
+        with pytest.raises(LeaseConflictError):
+            blob.upload_blob("cont", "locked", b"intruder")
+        blob.renew_lease("cont", "locked", lease)
+        blob.release_lease("cont", "locked", lease)
+        blob.upload_blob("cont", "locked", b"v2")
+
+    def test_lease_expiry_via_clock(self, account):
+        blob = account.blob_client()
+        blob.create_container("cont")
+        blob.upload_blob("cont", "locked", b"v")
+        blob.acquire_lease("cont", "locked")
+        account.state.clock.advance(60)
+        blob.upload_blob("cont", "locked", b"after expiry")  # no error
+
+    def test_snapshots(self, account):
+        blob = account.blob_client()
+        blob.create_container("cont")
+        blob.upload_blob("cont", "doc", b"old")
+        snap = blob.snapshot_blob("cont", "doc")
+        blob.upload_blob("cont", "doc", b"new")
+        assert blob.download_snapshot(
+            "cont", "doc", snap.snapshot_id).to_bytes() == b"old"
+        with pytest.raises(InvalidOperationError):
+            blob.delete_blob("cont", "doc")
+        blob.delete_blob("cont", "doc", delete_snapshots=True)

@@ -1,0 +1,181 @@
+"""Unit tests for simkit events and conditions."""
+
+import pytest
+
+from repro.simkit import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Timeout,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_starts_untriggered(self, env):
+        e = env.event()
+        assert not e.triggered
+        assert not e.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        e = env.event()
+        with pytest.raises(AttributeError):
+            _ = e.value
+        with pytest.raises(AttributeError):
+            _ = e.ok
+
+    def test_succeed_sets_value(self, env):
+        e = env.event()
+        e.succeed(42)
+        assert e.triggered and e.ok and e.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        e = env.event()
+        e.succeed()
+        with pytest.raises(RuntimeError):
+            e.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        e = env.event()
+        e.fail(ValueError("boom"))
+        e.defused = True
+        with pytest.raises(RuntimeError):
+            e.succeed()
+
+    def test_fail_requires_exception(self, env):
+        e = env.event()
+        with pytest.raises(TypeError):
+            e.fail("not an exception")
+
+    def test_fail_value_is_exception(self, env):
+        e = env.event()
+        exc = ValueError("boom")
+        e.fail(exc)
+        e.defused = True
+        assert e.value is exc and not e.ok
+        env.run()
+
+    def test_callbacks_run_on_processing(self, env):
+        e = env.event()
+        seen = []
+        e.callbacks.append(lambda evt: seen.append(evt.value))
+        e.succeed("x")
+        env.run()
+        assert seen == ["x"]
+        assert e.processed
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        e = env.event()
+        e.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_defused_failure_does_not_propagate(self, env):
+        e = env.event()
+        e.fail(RuntimeError("handled"))
+        e.defused = True
+        env.run()  # no raise
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        t = env.timeout(5, value="done")
+        env.run()
+        assert env.now == 5 and t.value == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_now(self, env):
+        env.timeout(0)
+        env.run()
+        assert env.now == 0
+
+    def test_delay_property(self, env):
+        assert env.timeout(3.5).delay == 3.5
+
+    def test_ordering_of_simultaneous_timeouts(self, env):
+        order = []
+        for i in range(5):
+            t = env.timeout(1, value=i)
+            t.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]  # FIFO among equal times
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        t1, t2 = env.timeout(1, "a"), env.timeout(3, "b")
+        result = env.run(until=AllOf(env, [t1, t2]))
+        assert env.now == 3
+        assert list(result.values()) == ["a", "b"]
+
+    def test_any_of_fires_on_first(self, env):
+        t1, t2 = env.timeout(1, "a"), env.timeout(3, "b")
+        result = env.run(until=AnyOf(env, [t1, t2]))
+        assert env.now == 1
+        assert list(result.values()) == ["a"]
+
+    def test_empty_all_of_fires_immediately(self, env):
+        result = env.run(until=AllOf(env, []))
+        assert len(result) == 0
+
+    def test_empty_any_of_fires_immediately(self, env):
+        result = env.run(until=AnyOf(env, []))
+        assert len(result) == 0
+
+    def test_operator_and(self, env):
+        t1, t2 = env.timeout(1), env.timeout(2)
+        env.run(until=t1 & t2)
+        assert env.now == 2
+
+    def test_operator_or(self, env):
+        t1, t2 = env.timeout(1), env.timeout(2)
+        env.run(until=t1 | t2)
+        assert env.now == 1
+
+    def test_nested_condition_value_flattens(self, env):
+        t1, t2, t3 = env.timeout(1, "a"), env.timeout(2, "b"), env.timeout(3, "c")
+        result = env.run(until=(t1 & t2) & t3)
+        assert set(result.values()) == {"a", "b", "c"}
+
+    def test_condition_with_pretriggered_events(self, env):
+        t1 = env.timeout(1, "a")
+        env.run(until=t1)
+        cond = AllOf(env, [t1, env.timeout(1, "b")])
+        result = env.run(until=cond)
+        assert list(result.values()) == ["a", "b"]
+
+    def test_condition_fails_if_member_fails(self, env):
+        e = env.event()
+        t = env.timeout(10)
+        cond = AllOf(env, [e, t])
+
+        def failer(env):
+            yield env.timeout(1)
+            e.fail(ValueError("member failed"))
+
+        env.process(failer(env))
+        with pytest.raises(ValueError, match="member failed"):
+            env.run(until=cond)
+
+    def test_mixed_environments_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AllOf(env, [env.timeout(1), other.timeout(1)])
+
+    def test_condition_value_mapping_interface(self, env):
+        t1, t2 = env.timeout(1, "a"), env.timeout(2, "b")
+        result = env.run(until=AllOf(env, [t1, t2]))
+        assert t1 in result and result[t1] == "a"
+        assert dict(result.items())[t2] == "b"
+        assert result.todict() == {t1: "a", t2: "b"}
+        assert result == {t1: "a", t2: "b"}
+        with pytest.raises(KeyError):
+            _ = result[env.event()]

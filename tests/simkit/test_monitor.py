@@ -1,0 +1,119 @@
+"""Unit tests for simkit measurement helpers."""
+
+import math
+
+import pytest
+
+from repro.simkit import Environment, Tally, TimeSeries, UtilizationMonitor
+
+
+class TestTally:
+    def test_empty_tally(self):
+        t = Tally("x")
+        assert t.count == 0
+        with pytest.raises(ValueError):
+            _ = t.mean
+        with pytest.raises(ValueError):
+            _ = t.min
+        with pytest.raises(ValueError):
+            _ = t.max
+
+    def test_basic_stats(self):
+        t = Tally()
+        t.extend([1.0, 2.0, 3.0, 4.0])
+        assert t.count == 4
+        assert t.mean == pytest.approx(2.5)
+        assert t.total == pytest.approx(10.0)
+        assert t.min == 1.0 and t.max == 4.0
+        assert t.variance == pytest.approx(5.0 / 3.0)
+        assert t.stdev == pytest.approx(math.sqrt(5.0 / 3.0))
+
+    def test_single_sample_variance_zero(self):
+        t = Tally()
+        t.record(5.0)
+        assert t.variance == 0.0
+
+    def test_welford_matches_numpy(self):
+        import numpy as np
+        rng = np.random.default_rng(1)
+        data = rng.normal(100, 15, size=1000)
+        t = Tally()
+        t.extend(data)
+        assert t.mean == pytest.approx(float(np.mean(data)))
+        assert t.variance == pytest.approx(float(np.var(data, ddof=1)))
+
+    def test_summary_keys(self):
+        t = Tally()
+        t.record(1.0)
+        assert set(t.summary()) == {"count", "total", "mean", "stdev", "min", "max"}
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        s = TimeSeries("s")
+        s.record(0, 1.0)
+        s.record(5, 2.0)
+        assert len(s) == 2
+        assert s.last() == (5, 2.0)
+
+    def test_empty_raises(self):
+        s = TimeSeries("s")
+        with pytest.raises(ValueError):
+            s.last()
+        with pytest.raises(ValueError):
+            s.time_weighted_mean()
+
+    def test_time_weighted_mean(self):
+        s = TimeSeries()
+        s.record(0, 10.0)   # 10 for [0, 4)
+        s.record(4, 20.0)   # 20 for [4, 8)
+        assert s.time_weighted_mean(until=8) == pytest.approx(15.0)
+
+    def test_time_weighted_mean_zero_span(self):
+        s = TimeSeries()
+        s.record(3, 42.0)
+        assert s.time_weighted_mean(until=3) == 42.0
+
+
+class TestUtilizationMonitor:
+    def test_busy_accounting(self):
+        env = Environment()
+        mon = UtilizationMonitor(env)
+
+        def proc(env):
+            mon.mark_busy()
+            yield env.timeout(4)
+            mon.mark_idle()
+            yield env.timeout(6)
+
+        env.process(proc(env))
+        env.run()
+        assert mon.busy_time == pytest.approx(4.0)
+        assert mon.utilization == pytest.approx(0.4)
+
+    def test_still_busy_counts_to_now(self):
+        env = Environment()
+        mon = UtilizationMonitor(env)
+
+        def proc(env):
+            mon.mark_busy()
+            yield env.timeout(5)
+
+        env.process(proc(env))
+        env.run()
+        assert mon.busy_time == pytest.approx(5.0)
+        assert mon.utilization == pytest.approx(1.0)
+
+    def test_double_mark_busy_is_idempotent(self):
+        env = Environment()
+        mon = UtilizationMonitor(env)
+        mon.mark_busy()
+        mon.mark_busy()
+        mon.mark_idle()
+        mon.mark_idle()
+        assert mon.busy_time == 0.0
+
+    def test_zero_elapsed_utilization(self):
+        env = Environment()
+        mon = UtilizationMonitor(env)
+        assert mon.utilization == 0.0

@@ -1,0 +1,73 @@
+"""Tests for storage-account capacity enforcement (the 100 TB limit)."""
+
+import pytest
+
+from repro.storage import (
+    AccountCapacityExceededError,
+    LIMITS_2012,
+    ManualClock,
+    StorageAccountState,
+    SyntheticContent,
+)
+
+
+@pytest.fixture
+def tiny_account():
+    """An account with a 1 KB capacity so the limit is easy to hit."""
+    limits = LIMITS_2012.with_overrides(account_capacity_bytes=1024)
+    return StorageAccountState("tinyacct", ManualClock(), limits)
+
+
+class TestCapacityEnforcement:
+    def test_blob_over_capacity_rejected(self, tiny_account):
+        c = tiny_account.blobs.create_container("cont")
+        b = c.create_block_blob("big")
+        b.put_block("b1", SyntheticContent(2048, seed=0))
+        with pytest.raises(AccountCapacityExceededError):
+            b.put_block_list(["b1"])
+        # The failed commit must not corrupt usage accounting.
+        assert tiny_account.bytes_used == 0
+        assert tiny_account.recompute_usage() == 0
+
+    def test_fill_then_free_then_fill(self, tiny_account):
+        c = tiny_account.blobs.create_container("cont")
+        b = c.create_block_blob("exact")
+        b.upload(SyntheticContent(1024, seed=0))
+        assert tiny_account.bytes_used == 1024
+        # Full: even one queue byte is too much.
+        q = tiny_account.queues.create_queue("que")
+        with pytest.raises(AccountCapacityExceededError):
+            q.put_message(b"x")
+        # Free the blob, then the queue write fits.
+        c.delete_blob("exact")
+        q.put_message(b"x")
+        assert tiny_account.bytes_used == 1
+
+    def test_queue_capacity(self, tiny_account):
+        q = tiny_account.queues.create_queue("que")
+        q.put_message(b"x" * 1000)
+        with pytest.raises(AccountCapacityExceededError):
+            q.put_message(b"y" * 100)
+        assert q.approximate_message_count() == 1
+
+    def test_table_capacity(self, tiny_account):
+        t = tiny_account.tables.create_table("Tab")
+        with pytest.raises(AccountCapacityExceededError):
+            t.insert("p", "r", {"Data": b"z" * 1500})
+        assert t.entity_count() == 0
+        assert tiny_account.recompute_usage() == tiny_account.bytes_used
+
+    def test_update_that_shrinks_always_allowed(self, tiny_account):
+        t = tiny_account.tables.create_table("Tab")
+        t.insert("p", "r", {"Data": b"z" * 900})
+        # Replacing with something smaller works even when nearly full.
+        t.update("p", "r", {"Data": b"z" * 10})
+        assert tiny_account.bytes_used < 200
+
+    def test_usage_never_negative(self, tiny_account):
+        q = tiny_account.queues.create_queue("que")
+        m = q.put_message(b"abc")
+        q.get_message(visibility_timeout=10)
+        # Deleting via clear after partial ops keeps usage at >= 0.
+        q.clear()
+        assert tiny_account.bytes_used == 0

@@ -1,0 +1,147 @@
+"""Tests for Storage Analytics (request logs + hourly metrics)."""
+
+import pytest
+
+from repro.sim import SimStorageAccount, retrying
+from repro.simkit import Environment
+from repro.storage import KB, LIMITS_2012
+from repro.storage.analytics import (
+    HourlyMetrics,
+    MetricsAggregator,
+    RequestLog,
+    RequestRecord,
+    attach_analytics,
+)
+
+
+def rec(time=0.0, service="queue", operation="put_message", nbytes=100,
+        e2e=0.03, server=0.01, status=201, error=""):
+    return RequestRecord(time, service, operation, "p", nbytes, e2e,
+                         server, status, error)
+
+
+class TestRequestLog:
+    def test_append_and_len(self):
+        log = RequestLog()
+        log.append(rec())
+        log.append(rec(status=503, error="ServerBusy"))
+        assert len(log) == 2
+
+    def test_filters(self):
+        log = RequestLog()
+        log.append(rec(time=10, service="blob"))
+        log.append(rec(time=20, service="queue"))
+        log.append(rec(time=30, service="queue", operation="get_message"))
+        assert len(log.records(service="queue")) == 2
+        assert len(log.records(operation="get_message")) == 1
+        assert len(log.records(since=15, until=25)) == 1
+
+    def test_error_rate(self):
+        log = RequestLog()
+        log.append(rec())
+        log.append(rec(status=503))
+        assert log.error_rate() == 0.5
+        assert log.error_rate(service="blob") == 0.0
+
+    def test_retention_capacity(self):
+        log = RequestLog(capacity=3)
+        for i in range(5):
+            log.append(rec(time=i))
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [r.time for r in log] == [2, 3, 4]
+
+    def test_record_flags(self):
+        assert rec(status=200).ok
+        assert not rec(status=503).ok
+        assert rec(status=503).throttled
+        assert not rec(status=404).throttled
+
+
+class TestMetricsAggregator:
+    def test_hourly_cells(self):
+        agg = MetricsAggregator()
+        agg.observe(rec(time=100))            # hour 0
+        agg.observe(rec(time=3700))           # hour 1
+        assert agg.hours() == [0, 1]
+        assert agg.cell(0, "queue").total_requests == 1
+        assert agg.cell(0, "queue", "put_message").total_requests == 1
+        assert agg.cell(2, "queue") is None
+
+    def test_availability_and_latency(self):
+        agg = MetricsAggregator()
+        agg.observe(rec(e2e=0.02))
+        agg.observe(rec(e2e=0.04, status=503))
+        cell = agg.cell(0, "queue")
+        assert cell.availability == 0.5
+        assert cell.average_latency == pytest.approx(0.03)
+        assert cell.total_throttles == 1
+
+    def test_service_totals(self):
+        agg = MetricsAggregator()
+        for t in (0, 3700, 7300):
+            agg.observe(rec(time=t, nbytes=10))
+        totals = agg.service_totals("queue")
+        assert totals.total_requests == 3
+        assert totals.total_bytes == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricsAggregator(hour_seconds=0)
+
+    def test_empty_cell_defaults(self):
+        cell = HourlyMetrics(0, "blob", "*")
+        assert cell.availability == 1.0
+        assert cell.average_latency == 0.0
+
+
+class TestAttachAnalytics:
+    def test_instruments_cluster(self):
+        env = Environment()
+        account = SimStorageAccount(env, seed=4)
+        log, metrics = attach_analytics(account.cluster)
+        qc = account.queue_client()
+
+        def body():
+            yield from qc.create_queue("obs")
+            for i in range(10):
+                yield from qc.put_message("obs", b"x" * 100)
+            m = yield from qc.get_message("obs", visibility_timeout=60)
+            yield from qc.delete_message("obs", m.message_id, m.pop_receipt)
+
+        env.process(body())
+        env.run()
+        assert len(log) == 13  # create + 10 puts + get + delete
+        puts = log.records(operation="put_message")
+        assert len(puts) == 10
+        assert all(p.ok and p.nbytes == 100 for p in puts)
+        assert all(p.end_to_end_latency > p.server_latency > 0 for p in puts)
+        cell = metrics.cell(0, "queue", "put_message")
+        assert cell.total_requests == 10
+        assert cell.total_bytes == 1000
+
+    def test_throttles_are_logged(self):
+        env = Environment()
+        account = SimStorageAccount(
+            env, limits=LIMITS_2012.with_overrides(
+                queue_messages_per_second=3),
+            seed=4)
+        log, metrics = attach_analytics(account.cluster)
+        qc = account.queue_client()
+
+        def body():
+            yield from qc.create_queue("hot")
+            for i in range(6):
+                yield from retrying(env, lambda: qc.put_message("hot", b"x"))
+
+        env.process(body())
+        env.run()
+        throttled = [r for r in log if r.throttled]
+        assert throttled, "expected ServerBusy log lines"
+        assert all(r.error_code == "ServerBusy" for r in throttled)
+        cell = metrics.cell(0, "queue", "put_message")
+        assert cell.total_throttles == len(throttled)
+        assert cell.availability < 1.0
+        # Successful retries still landed all six messages.
+        assert sum(1 for r in log
+                   if r.operation == "put_message" and r.ok) == 6

@@ -1,0 +1,172 @@
+"""Tests for Shared Access Signatures."""
+
+import dataclasses
+
+import pytest
+
+from repro.emulator import EmulatorAccount
+from repro.storage import ManualClock
+from repro.storage.auth import (
+    AccountKey,
+    AuthorizedBlobClient,
+    SasError,
+    generate_sas,
+)
+
+
+@pytest.fixture
+def key():
+    return AccountKey.generate("testaccount")
+
+
+@pytest.fixture
+def clock():
+    return ManualClock(start=1000.0)
+
+
+@pytest.fixture
+def account(clock):
+    account = EmulatorAccount("testaccount", clock=clock)
+    blob = account.blob_client()
+    blob.create_container("docs")
+    blob.upload_blob("docs", "report", b"secret contents")
+    return account
+
+
+class TestTokenGeneration:
+    def test_roundtrip_authorize(self, key):
+        token = generate_sas(key, container="docs", blob="report",
+                             permissions="r", start=0, expiry=100)
+        token.authorize(key, container="docs", blob="report",
+                        permission="r", now=50)
+
+    def test_permission_order_enforced(self, key):
+        with pytest.raises(ValueError):
+            generate_sas(key, container="docs", permissions="wr",
+                         start=0, expiry=1)
+        with pytest.raises(ValueError):
+            generate_sas(key, container="docs", permissions="x",
+                         start=0, expiry=1)
+        with pytest.raises(ValueError):
+            generate_sas(key, container="docs", permissions="",
+                         start=0, expiry=1)
+
+    def test_window_validation(self, key):
+        with pytest.raises(ValueError):
+            generate_sas(key, container="docs", permissions="r",
+                         start=10, expiry=10)
+
+    def test_key_base64_roundtrip(self, key):
+        import base64
+        assert base64.b64decode(key.base64) == key.secret
+
+
+class TestAuthorization:
+    def make(self, key, **kw):
+        args = dict(container="docs", blob="report", permissions="r",
+                    start=0, expiry=100)
+        args.update(kw)
+        return generate_sas(key, **args)
+
+    def test_expired_token(self, key):
+        token = self.make(key)
+        with pytest.raises(SasError, match="valid"):
+            token.authorize(key, container="docs", blob="report",
+                            permission="r", now=100)
+
+    def test_not_yet_valid(self, key):
+        token = self.make(key, start=50)
+        with pytest.raises(SasError):
+            token.authorize(key, container="docs", blob="report",
+                            permission="r", now=10)
+
+    def test_missing_permission(self, key):
+        token = self.make(key, permissions="r")
+        with pytest.raises(SasError, match="permission"):
+            token.authorize(key, container="docs", blob="report",
+                            permission="w", now=10)
+
+    def test_wrong_blob(self, key):
+        token = self.make(key)
+        with pytest.raises(SasError, match="scoped"):
+            token.authorize(key, container="docs", blob="other",
+                            permission="r", now=10)
+
+    def test_container_token_covers_blobs(self, key):
+        token = self.make(key, blob=None, permissions="rl")
+        token.authorize(key, container="docs", blob="anything",
+                        permission="r", now=10)
+        token.authorize(key, container="docs", blob=None,
+                        permission="l", now=10)
+        with pytest.raises(SasError):
+            token.authorize(key, container="pics", blob="x",
+                            permission="r", now=10)
+
+    def test_tampered_permissions_fail(self, key):
+        token = self.make(key, permissions="r")
+        forged = dataclasses.replace(token, permissions="rwdl")
+        with pytest.raises(SasError, match="signature"):
+            forged.authorize(key, container="docs", blob="report",
+                             permission="w", now=10)
+
+    def test_tampered_expiry_fails(self, key):
+        token = self.make(key, expiry=100)
+        forged = dataclasses.replace(token, expiry=10_000)
+        with pytest.raises(SasError, match="signature"):
+            forged.authorize(key, container="docs", blob="report",
+                             permission="r", now=500)
+
+    def test_key_rotation_revokes(self, key):
+        token = self.make(key)
+        rotated = AccountKey.generate("testaccount", name="key1")
+        with pytest.raises(SasError, match="signature"):
+            token.authorize(rotated, container="docs", blob="report",
+                            permission="r", now=10)
+
+    def test_wrong_key_name(self, key):
+        token = self.make(key)
+        key2 = AccountKey("testaccount", "key2", key.secret)
+        with pytest.raises(SasError, match="unknown key"):
+            token.authorize(key2, container="docs", blob="report",
+                            permission="r", now=10)
+
+
+class TestAuthorizedBlobClient:
+    def test_read_only_client(self, account, key, clock):
+        token = generate_sas(key, container="docs", blob="report",
+                             permissions="r", start=0, expiry=10_000)
+        client = AuthorizedBlobClient(account, token, key)
+        assert client.download_block_blob("docs", "report").to_bytes() \
+            == b"secret contents"
+        with pytest.raises(SasError):
+            client.upload_blob("docs", "report", b"overwrite!")
+        with pytest.raises(SasError):
+            client.delete_blob("docs", "report")
+
+    def test_container_rwdl_client(self, account, key):
+        token = generate_sas(key, container="docs", permissions="rwdl",
+                             start=0, expiry=10_000)
+        client = AuthorizedBlobClient(account, token, key)
+        client.put_block("docs", "new", "b1", b"data")
+        client.put_block_list("docs", "new", ["b1"])
+        assert client.download_block_blob("docs", "new").to_bytes() == b"data"
+        assert "new" in client.list_blobs("docs")
+        client.delete_blob("docs", "new")
+
+    def test_token_expires_with_clock(self, account, key, clock):
+        token = generate_sas(key, container="docs", blob="report",
+                             permissions="r", start=0, expiry=clock.now() + 5)
+        client = AuthorizedBlobClient(account, token, key)
+        client.download_block_blob("docs", "report")  # fine now
+        clock.advance(5)
+        with pytest.raises(SasError):
+            client.download_block_blob("docs", "report")
+
+    def test_scope_does_not_leak_across_containers(self, account, key):
+        account.blob_client().create_container("pics")
+        account.blob_client().upload_blob("pics", "cat", b"meow")
+        token = generate_sas(key, container="docs", permissions="rwdl",
+                             start=0, expiry=10_000)
+        client = AuthorizedBlobClient(account, token, key)
+        with pytest.raises(SasError):
+            client.download_block_blob("pics", "cat")

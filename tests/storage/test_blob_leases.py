@@ -1,0 +1,138 @@
+"""Tests for 2012-era blob leases (exclusive write locks)."""
+
+import pytest
+
+from repro.storage import (
+    LeaseConflictError,
+    ManualClock,
+    StorageAccountState,
+)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def blob(clock):
+    account = StorageAccountState("leaseacct", clock)
+    container = account.blobs.create_container("cont")
+    b = container.create_block_blob("locked")
+    b.put_block("b1", b"data")
+    b.put_block_list(["b1"])
+    return b
+
+
+class TestLeaseLifecycle:
+    def test_acquire_release(self, blob):
+        lease = blob.acquire_lease()
+        assert blob.lease_state == "leased"
+        blob.release_lease(lease)
+        assert blob.lease_state == "available"
+
+    def test_double_acquire_conflicts(self, blob):
+        blob.acquire_lease()
+        with pytest.raises(LeaseConflictError):
+            blob.acquire_lease()
+
+    def test_lease_expires_after_minute(self, blob, clock):
+        blob.acquire_lease()
+        clock.advance(60)
+        assert blob.lease_state == "available"
+        blob.acquire_lease()  # re-acquirable
+
+    def test_renew_extends(self, blob, clock):
+        lease = blob.acquire_lease()
+        clock.advance(50)
+        blob.renew_lease(lease)
+        clock.advance(50)
+        assert blob.lease_state == "leased"
+
+    def test_renew_wrong_id(self, blob):
+        blob.acquire_lease()
+        with pytest.raises(LeaseConflictError):
+            blob.renew_lease("bogus")
+
+    def test_release_wrong_id(self, blob):
+        blob.acquire_lease()
+        with pytest.raises(LeaseConflictError):
+            blob.release_lease("bogus")
+
+    def test_break_lease(self, blob):
+        blob.acquire_lease()
+        blob.break_lease()
+        assert blob.lease_state == "available"
+        blob.break_lease()  # idempotent
+
+
+class TestLeaseEnforcement:
+    def test_staging_without_lease_id_rejected(self, blob):
+        blob.acquire_lease()
+        with pytest.raises(LeaseConflictError):
+            blob.put_block("b2", b"more")
+
+    def test_mutators_rejected_while_leased(self, blob):
+        blob.acquire_lease()
+        with pytest.raises(LeaseConflictError):
+            blob.put_block_list(["b1"])
+        with pytest.raises(LeaseConflictError):
+            blob.upload(b"replacement")
+
+    def test_mutators_allowed_with_lease_id(self, blob):
+        lease = blob.acquire_lease()
+        blob.put_block("b2", b"more", lease_id=lease)
+        blob.put_block_list(["b1", "b2"], lease_id=lease)
+        assert blob.download().to_bytes() == b"datamore"
+
+    def test_reads_unaffected_by_lease(self, blob):
+        blob.acquire_lease()
+        assert blob.download().to_bytes() == b"data"
+        assert blob.get_block(0).to_bytes() == b"data"
+
+    def test_writes_allowed_after_expiry(self, blob, clock):
+        blob.acquire_lease()
+        clock.advance(60)
+        blob.upload(b"new owner")  # no lease id needed anymore
+
+    def test_delete_blob_respects_lease(self, clock):
+        account = StorageAccountState("leaseacct", clock)
+        container = account.blobs.create_container("cont")
+        b = container.create_block_blob("locked")
+        lease = b.acquire_lease()
+        with pytest.raises(LeaseConflictError):
+            container.delete_blob("locked")
+        container.delete_blob("locked", lease_id=lease)
+
+    def test_page_blob_lease(self, clock):
+        account = StorageAccountState("leaseacct", clock)
+        container = account.blobs.create_container("cont")
+        p = container.create_page_blob("pages", 4096)
+        lease = p.acquire_lease()
+        with pytest.raises(LeaseConflictError):
+            p.put_pages(0, b"x" * 512)
+        p.put_pages(0, b"x" * 512, lease_id=lease)
+        with pytest.raises(LeaseConflictError):
+            p.clear_pages(0, 512)
+        p.clear_pages(0, 512, lease_id=lease)
+
+
+class TestLeaderElection:
+    def test_lease_as_leader_lock(self, clock):
+        """The classic Azure pattern: whoever holds the lease is leader."""
+        account = StorageAccountState("leaseacct", clock)
+        container = account.blobs.create_container("cont")
+        lock_blob = container.create_block_blob("leader-lock")
+
+        lease_a = lock_blob.acquire_lease()     # A becomes leader
+        with pytest.raises(LeaseConflictError):
+            lock_blob.acquire_lease()           # B cannot
+
+        clock.advance(59)
+        lock_blob.renew_lease(lease_a)          # A heartbeats
+        clock.advance(59)
+        assert lock_blob.lease_state == "leased"
+
+        clock.advance(1)                        # A dies; lease lapses
+        lease_b = lock_blob.acquire_lease()     # B takes over
+        assert lease_b != lease_a

@@ -1,0 +1,116 @@
+"""Tests for blob snapshots (immutable point-in-time copies)."""
+
+import pytest
+
+from repro.storage import (
+    BlobNotFoundError,
+    BytesContent,
+    InvalidOperationError,
+    ManualClock,
+    StorageAccountState,
+)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def container(clock):
+    account = StorageAccountState("snapacct", clock)
+    return account.blobs.create_container("cont")
+
+
+class TestBlockBlobSnapshots:
+    def test_snapshot_preserves_content(self, container, clock):
+        b = container.create_block_blob("doc")
+        b.upload(b"version 1")
+        snap = b.snapshot()
+        clock.advance(1)
+        b.upload(b"version 2 is longer")
+        assert b.download().to_bytes() == b"version 2 is longer"
+        assert snap.download().to_bytes() == b"version 1"
+        assert snap.size == 9
+
+    def test_snapshot_survives_recommit(self, container):
+        b = container.create_block_blob("doc")
+        b.put_block("b1", b"AAA")
+        b.put_block("b2", b"BBB")
+        b.put_block_list(["b1", "b2"])
+        snap = b.snapshot()
+        b.put_block("b3", b"CCC")
+        b.put_block_list(["b3"])
+        assert snap.download().to_bytes() == b"AAABBB"
+        assert b.download().to_bytes() == b"CCC"
+
+    def test_multiple_snapshots_ordered(self, container, clock):
+        b = container.create_block_blob("doc")
+        for i in range(3):
+            b.upload(f"v{i}".encode())
+            b.snapshot()
+            clock.advance(1)
+        snaps = b.list_snapshots()
+        assert len(snaps) == 3
+        assert [s.download().to_bytes() for s in snaps] == [b"v0", b"v1", b"v2"]
+        assert snaps[0].taken_at < snaps[2].taken_at
+
+    def test_read_range(self, container):
+        b = container.create_block_blob("doc")
+        b.upload(b"0123456789")
+        snap = b.snapshot()
+        assert snap.read_range(3, 4).to_bytes() == b"3456"
+        with pytest.raises(Exception):
+            snap.read_range(8, 5)
+
+    def test_get_and_delete_snapshot(self, container):
+        b = container.create_block_blob("doc")
+        b.upload(b"x")
+        snap = b.snapshot()
+        assert b.get_snapshot(snap.snapshot_id) is snap
+        b.delete_snapshot(snap.snapshot_id)
+        with pytest.raises(BlobNotFoundError):
+            b.get_snapshot(snap.snapshot_id)
+
+
+class TestPageBlobSnapshots:
+    def test_snapshot_freezes_pages(self, container):
+        p = container.create_page_blob("disk", 2048)
+        p.put_pages(0, BytesContent(b"a" * 512))
+        snap = p.snapshot()
+        p.put_pages(0, BytesContent(b"b" * 512))
+        p.put_pages(512, BytesContent(b"c" * 512))
+        assert snap.download().to_bytes() == b"a" * 512 + bytes(1536)
+        assert p.read(0, 1024).to_bytes() == b"b" * 512 + b"c" * 512
+
+    def test_snapshot_of_sparse_blob(self, container):
+        p = container.create_page_blob("disk", 1024)
+        snap = p.snapshot()
+        assert snap.download().to_bytes() == bytes(1024)
+
+
+class TestDeleteSemantics:
+    def test_delete_requires_flag_with_snapshots(self, container):
+        b = container.create_block_blob("doc")
+        b.upload(b"x")
+        b.snapshot()
+        with pytest.raises(InvalidOperationError):
+            container.delete_blob("doc")
+        container.delete_blob("doc", delete_snapshots=True)
+        with pytest.raises(BlobNotFoundError):
+            container.get_blob("doc")
+
+    def test_delete_without_snapshots_unaffected(self, container):
+        b = container.create_block_blob("doc")
+        b.upload(b"x")
+        container.delete_blob("doc")  # no flag needed
+
+    def test_usage_accounting_unaffected_by_snapshots(self, container):
+        account = container._service._account
+        b = container.create_block_blob("doc")
+        b.upload(b"x" * 100)
+        before = account.bytes_used
+        b.snapshot()
+        # Documented simplification: snapshots are not charged.
+        assert account.bytes_used == before
+        assert account.recompute_usage() == account.bytes_used

@@ -1,0 +1,388 @@
+"""Unit tests for the blob data plane: block blobs, page blobs, containers."""
+
+import pytest
+
+from repro.storage import (
+    BlobNotFoundError,
+    BlockNotFoundError,
+    BlockTooLargeError,
+    BytesContent,
+    ContainerNotFoundError,
+    InvalidOperationError,
+    InvalidPageRangeError,
+    KB,
+    MB,
+    ManualClock,
+    OutOfRangeError,
+    PayloadTooLargeError,
+    ResourceExistsError,
+    StorageAccountState,
+    SyntheticContent,
+    TooManyBlocksError,
+)
+
+
+@pytest.fixture
+def account():
+    return StorageAccountState("testaccount", ManualClock())
+
+
+@pytest.fixture
+def container(account):
+    return account.blobs.create_container("bench")
+
+
+class TestContainers:
+    def test_create_idempotent(self, account):
+        c1 = account.blobs.create_container("abc")
+        c2 = account.blobs.create_container("abc")
+        assert c1 is c2
+
+    def test_create_fail_on_exist(self, account):
+        account.blobs.create_container("abc")
+        with pytest.raises(ResourceExistsError):
+            account.blobs.create_container("abc", fail_on_exist=True)
+
+    def test_get_missing_raises(self, account):
+        with pytest.raises(ContainerNotFoundError):
+            account.blobs.get_container("nope")
+
+    def test_delete(self, account):
+        account.blobs.create_container("abc")
+        account.blobs.delete_container("abc")
+        with pytest.raises(ContainerNotFoundError):
+            account.blobs.get_container("abc")
+
+    def test_list_with_prefix(self, account):
+        for name in ("aaa", "aab", "bbb"):
+            account.blobs.create_container(name)
+        assert account.blobs.list_containers("aa") == ["aaa", "aab"]
+        assert account.blobs.list_containers() == ["aaa", "aab", "bbb"]
+
+    def test_delete_container_releases_usage(self, account):
+        c = account.blobs.create_container("abc")
+        b = c.create_block_blob("x")
+        b.put_block("b1", b"data")
+        b.put_block_list(["b1"])
+        assert account.bytes_used > 0
+        account.blobs.delete_container("abc")
+        assert account.bytes_used == 0
+
+
+class TestBlockBlob:
+    def test_two_phase_upload(self, container):
+        b = container.create_block_blob("blob")
+        b.put_block("b1", b"hello ")
+        b.put_block("b2", b"world")
+        assert b.size == 0  # nothing committed yet
+        b.put_block_list(["b1", "b2"])
+        assert b.size == 11
+        assert b.download().to_bytes() == b"hello world"
+
+    def test_commit_order_matters(self, container):
+        b = container.create_block_blob("blob")
+        b.put_block("b1", b"AA")
+        b.put_block("b2", b"BB")
+        b.put_block_list(["b2", "b1"])
+        assert b.download().to_bytes() == b"BBAA"
+
+    def test_restage_replaces_block(self, container):
+        b = container.create_block_blob("blob")
+        b.put_block("b1", b"old")
+        b.put_block("b1", b"new")
+        b.put_block_list(["b1"])
+        assert b.download().to_bytes() == b"new"
+
+    def test_commit_unknown_block_raises(self, container):
+        b = container.create_block_blob("blob")
+        with pytest.raises(BlockNotFoundError):
+            b.put_block_list(["ghost"])
+
+    def test_recommit_committed_blocks(self, container):
+        b = container.create_block_blob("blob")
+        b.put_block("b1", b"one")
+        b.put_block_list(["b1"])
+        b.put_block("b2", b"two")
+        b.put_block_list(["b1", "b2"])  # b1 from committed, b2 staged
+        assert b.download().to_bytes() == b"onetwo"
+
+    def test_merge_commit_appends(self, container):
+        b = container.create_block_blob("blob")
+        b.put_block("b1", b"one")
+        b.put_block_list(["b1"])
+        b.put_block("b2", b"two")
+        b.put_block_list(["b2"], merge=True)
+        assert b.download().to_bytes() == b"onetwo"
+        assert b.block_ids() == ["b1", "b2"]
+
+    def test_merge_commit_keeps_other_staged(self, container):
+        b = container.create_block_blob("blob")
+        b.put_block("mine", b"A")
+        b.put_block("other", b"B")
+        b.put_block_list(["mine"], merge=True)
+        # "other" stays staged (documented deviation for multi-writer runs).
+        b.put_block_list(["other"], merge=True)
+        assert b.download().to_bytes() == b"AB"
+
+    def test_block_size_limit(self, container):
+        b = container.create_block_blob("blob")
+        with pytest.raises(BlockTooLargeError):
+            b.put_block("big", SyntheticContent(4 * MB + 1, seed=0))
+
+    def test_empty_block_rejected(self, container):
+        b = container.create_block_blob("blob")
+        with pytest.raises(InvalidOperationError):
+            b.put_block("b", b"")
+
+    def test_block_count_limit(self, container):
+        limits = container._service.limits.with_overrides(max_blocks_per_blob=3)
+        container._service.limits = limits
+        b = container.create_block_blob("blob")
+        for i in range(4):
+            b.put_block(f"b{i}", b"x")
+        with pytest.raises(TooManyBlocksError):
+            b.put_block_list([f"b{i}" for i in range(4)])
+
+    def test_invalid_block_id(self, container):
+        b = container.create_block_blob("blob")
+        with pytest.raises(BlockNotFoundError):
+            b.put_block("", b"x")
+        with pytest.raises(BlockNotFoundError):
+            b.put_block("x" * 65, b"x")
+
+    def test_single_shot_upload(self, container):
+        b = container.create_block_blob("blob")
+        b.upload(b"payload")
+        assert b.download().to_bytes() == b"payload"
+        assert b.block_count == 1
+
+    def test_single_shot_size_limit(self, container):
+        b = container.create_block_blob("blob")
+        with pytest.raises(PayloadTooLargeError):
+            b.upload(SyntheticContent(64 * MB + 1, seed=0))
+
+    def test_get_block_by_index_and_id(self, container):
+        b = container.create_block_blob("blob")
+        b.put_block("b1", b"AA")
+        b.put_block("b2", b"BB")
+        b.put_block_list(["b1", "b2"])
+        assert b.get_block(0).to_bytes() == b"AA"
+        assert b.get_block_by_id("b2").to_bytes() == b"BB"
+        with pytest.raises(OutOfRangeError):
+            b.get_block(2)
+        with pytest.raises(BlockNotFoundError):
+            b.get_block_by_id("nope")
+
+    def test_read_range(self, container):
+        b = container.create_block_blob("blob")
+        b.put_block("b1", b"abcd")
+        b.put_block("b2", b"efgh")
+        b.put_block_list(["b1", "b2"])
+        assert b.read_range(2, 4).to_bytes() == b"cdef"
+        with pytest.raises(OutOfRangeError):
+            b.read_range(6, 4)
+
+    def test_etag_changes_on_commit(self, container):
+        b = container.create_block_blob("blob")
+        tag0 = b.etag
+        b.put_block("b1", b"x")
+        assert b.etag == tag0  # staging does not change the etag
+        b.put_block_list(["b1"])
+        assert b.etag != tag0
+
+    def test_properties_snapshot(self, container):
+        b = container.create_block_blob("blob")
+        b.upload(b"xyz")
+        props = b.properties()
+        assert props.blob_type == "BlockBlob"
+        assert props.size == 3
+        assert props.container == "bench"
+
+    def test_partition_key(self, container):
+        b = container.create_block_blob("blob")
+        assert b.partition_key() == "bench/blob"
+
+
+class TestPageBlob:
+    def test_creation_validation(self, container):
+        with pytest.raises(InvalidPageRangeError):
+            container.create_page_blob("p", 100)  # not 512-aligned
+        with pytest.raises(InvalidPageRangeError):
+            container.create_page_blob("p", 0)
+        with pytest.raises(PayloadTooLargeError):
+            container.create_page_blob("p", 2 * 1024 * 1024 * MB)
+
+    def test_write_read_roundtrip(self, container):
+        p = container.create_page_blob("p", 1 * MB)
+        p.put_pages(512, BytesContent(b"a" * 512))
+        assert p.read(512, 512).to_bytes() == b"a" * 512
+
+    def test_unwritten_reads_zero(self, container):
+        p = container.create_page_blob("p", 1 * MB)
+        assert p.read(0, 1024).to_bytes() == bytes(1024)
+
+    def test_unaligned_write_rejected(self, container):
+        p = container.create_page_blob("p", 1 * MB)
+        with pytest.raises(InvalidPageRangeError):
+            p.put_pages(100, BytesContent(b"a" * 512))
+        with pytest.raises(InvalidPageRangeError):
+            p.put_pages(512, BytesContent(b"a" * 100))
+
+    def test_write_beyond_end_rejected(self, container):
+        p = container.create_page_blob("p", 1024)
+        with pytest.raises(InvalidPageRangeError):
+            p.put_pages(1024, BytesContent(b"a" * 512))
+
+    def test_oversized_write_rejected(self, container):
+        p = container.create_page_blob("p", 8 * MB)
+        with pytest.raises(InvalidPageRangeError):
+            p.put_pages(0, SyntheticContent(4 * MB + 512, seed=0))
+
+    def test_overwrite_splits_ranges(self, container):
+        p = container.create_page_blob("p", 1 * MB)
+        p.put_pages(0, BytesContent(b"a" * 2048))
+        p.put_pages(512, BytesContent(b"b" * 512))
+        assert p.read(0, 2048).to_bytes() == \
+            b"a" * 512 + b"b" * 512 + b"a" * 1024
+        assert p.written_bytes == 2048
+
+    def test_adjacent_writes(self, container):
+        p = container.create_page_blob("p", 1 * MB)
+        p.put_pages(0, BytesContent(b"x" * 512))
+        p.put_pages(512, BytesContent(b"y" * 512))
+        assert p.read(0, 1024).to_bytes() == b"x" * 512 + b"y" * 512
+        assert p.get_page_ranges() == [(0, 512), (512, 1024)]
+
+    def test_clear_pages(self, container):
+        p = container.create_page_blob("p", 1 * MB)
+        p.put_pages(0, BytesContent(b"x" * 2048))
+        p.clear_pages(512, 1024)
+        assert p.read(0, 2048).to_bytes() == \
+            b"x" * 512 + bytes(1024) + b"x" * 512
+        assert p.written_bytes == 1024
+
+    def test_read_all(self, container):
+        p = container.create_page_blob("p", 1024)
+        p.put_pages(512, BytesContent(b"z" * 512))
+        data = p.read_all().to_bytes()
+        assert data == bytes(512) + b"z" * 512
+        assert p.size == 1024
+
+    def test_gap_between_ranges(self, container):
+        p = container.create_page_blob("p", 1 * MB)
+        p.put_pages(0, BytesContent(b"a" * 512))
+        p.put_pages(2048, BytesContent(b"b" * 512))
+        got = p.read(0, 2560).to_bytes()
+        assert got == b"a" * 512 + bytes(1536) + b"b" * 512
+
+
+class TestContainerBlobOps:
+    def test_get_missing_blob(self, container):
+        with pytest.raises(BlobNotFoundError):
+            container.get_blob("ghost")
+
+    def test_type_mismatch(self, container):
+        container.create_block_blob("bb")
+        container.create_page_blob("pb", 512)
+        with pytest.raises(InvalidOperationError):
+            container.get_page_blob("bb")
+        with pytest.raises(InvalidOperationError):
+            container.get_block_blob("pb")
+
+    def test_overwrite_semantics(self, container):
+        b = container.create_block_blob("x")
+        b.upload(b"data")
+        container.create_block_blob("x")  # overwrite allowed by default
+        assert container.get_block_blob("x").size == 0
+        with pytest.raises(ResourceExistsError):
+            container.create_block_blob("x", overwrite=False)
+
+    def test_delete_blob(self, container, account):
+        b = container.create_block_blob("x")
+        b.upload(b"1234")
+        assert account.bytes_used == 4
+        container.delete_blob("x")
+        assert account.bytes_used == 0
+        with pytest.raises(BlobNotFoundError):
+            container.get_blob("x")
+
+    def test_list_blobs(self, container):
+        container.create_block_blob("a1")
+        container.create_block_blob("a2")
+        container.create_page_blob("b1", 512)
+        assert container.list_blobs() == ["a1", "a2", "b1"]
+        assert container.list_blobs(prefix="a") == ["a1", "a2"]
+        assert len(container) == 3
+        assert "a1" in container
+
+
+class TestUsageAccounting:
+    def test_block_blob_usage(self, account, container):
+        b = container.create_block_blob("x")
+        b.put_block("b1", b"a" * 100)
+        assert account.bytes_used == 0  # uncommitted not counted
+        b.put_block_list(["b1"])
+        assert account.bytes_used == 100
+        assert account.recompute_usage() == account.bytes_used
+
+    def test_page_blob_overwrite_not_double_counted(self, account, container):
+        p = container.create_page_blob("p", 1 * MB)
+        p.put_pages(0, BytesContent(b"a" * 1024))
+        p.put_pages(512, BytesContent(b"b" * 1024))  # overlaps 512 bytes
+        assert account.bytes_used == 1536
+        assert account.recompute_usage() == account.bytes_used
+
+    def test_recommit_shrinking_blob(self, account, container):
+        b = container.create_block_blob("x")
+        b.put_block("b1", b"a" * 100)
+        b.put_block("b2", b"b" * 50)
+        b.put_block_list(["b1", "b2"])
+        assert account.bytes_used == 150
+        b.put_block("b3", b"c" * 10)
+        b.put_block_list(["b3"])
+        assert account.bytes_used == 10
+        assert account.recompute_usage() == account.bytes_used
+
+
+class TestBlobMetadata:
+    def test_set_and_read_via_properties(self, container):
+        b = container.create_block_blob("meta")
+        b.set_metadata({"author": "dinesh", "stage": "upload"})
+        props = b.properties()
+        assert props.metadata == {"author": "dinesh", "stage": "upload"}
+
+    def test_set_replaces_entirely(self, container):
+        b = container.create_block_blob("meta")
+        b.set_metadata({"a": "1"})
+        b.set_metadata({"b": "2"})
+        assert b.properties().metadata == {"b": "2"}
+
+    def test_changes_etag(self, container):
+        b = container.create_block_blob("meta")
+        before = b.etag
+        b.set_metadata({"a": "1"})
+        assert b.etag != before
+
+    def test_validation(self, container):
+        b = container.create_block_blob("meta")
+        with pytest.raises(InvalidOperationError):
+            b.set_metadata({"1bad": "x"})
+        with pytest.raises(InvalidOperationError):
+            b.set_metadata({"ok": 5})
+        with pytest.raises(InvalidOperationError):
+            b.set_metadata({"": "x"})
+
+    def test_respects_lease(self, container):
+        from repro.storage import LeaseConflictError
+        b = container.create_block_blob("meta")
+        lease = b.acquire_lease()
+        with pytest.raises(LeaseConflictError):
+            b.set_metadata({"a": "1"})
+        b.set_metadata({"a": "1"}, lease_id=lease)
+
+    def test_properties_metadata_is_a_copy(self, container):
+        b = container.create_block_blob("meta")
+        b.set_metadata({"a": "1"})
+        props = b.properties()
+        props.metadata["a"] = "mutated"
+        assert b.properties().metadata == {"a": "1"}

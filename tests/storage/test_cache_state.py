@@ -1,0 +1,171 @@
+"""Unit tests for the caching-service data plane."""
+
+import pytest
+
+from repro.storage import (
+    InvalidOperationError,
+    KB,
+    ManualClock,
+    ResourceExistsError,
+    ResourceNotFoundError,
+)
+from repro.storage.cache import CacheServiceState
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def service(clock):
+    return CacheServiceState(clock)
+
+
+@pytest.fixture
+def cache(service):
+    return service.create_cache("hot", capacity_bytes=10 * KB,
+                                default_ttl=100.0)
+
+
+class TestCacheManagement:
+    def test_create_idempotent(self, service):
+        assert service.create_cache("a1b") is service.create_cache("a1b")
+
+    def test_fail_on_exist(self, service):
+        service.create_cache("a1b")
+        with pytest.raises(ResourceExistsError):
+            service.create_cache("a1b", fail_on_exist=True)
+
+    def test_get_missing(self, service):
+        with pytest.raises(ResourceNotFoundError):
+            service.get_cache("ghost")
+
+    def test_delete_and_list(self, service):
+        service.create_cache("one")
+        service.create_cache("two")
+        service.delete_cache("one")
+        assert service.list_caches() == ["two"]
+
+    def test_validation(self, service):
+        with pytest.raises(InvalidOperationError):
+            service.create_cache("bad", capacity_bytes=0)
+        with pytest.raises(InvalidOperationError):
+            service.create_cache("bad", default_ttl=0)
+
+
+class TestPutGet:
+    def test_roundtrip(self, cache):
+        cache.put("k", b"value")
+        assert cache.get("k").value.to_bytes() == b"value"
+
+    def test_miss_returns_none(self, cache):
+        assert cache.get("ghost") is None
+
+    def test_put_replaces(self, cache):
+        cache.put("k", b"old")
+        cache.put("k", b"new")
+        assert cache.get("k").value.to_bytes() == b"new"
+        assert cache.item_count == 1
+
+    def test_add_fails_on_present(self, cache):
+        cache.add("k", b"v")
+        with pytest.raises(ResourceExistsError):
+            cache.add("k", b"w")
+
+    def test_add_succeeds_after_expiry(self, cache, clock):
+        cache.add("k", b"v", ttl=10)
+        clock.advance(10)
+        cache.add("k", b"w")  # expired, so add is legal
+        assert cache.get("k").value.to_bytes() == b"w"
+
+    def test_versions_increase(self, cache):
+        v1 = cache.put("k", b"a").version
+        v2 = cache.put("k", b"b").version
+        assert v2 > v1
+
+    def test_item_too_big(self, cache):
+        with pytest.raises(InvalidOperationError):
+            cache.put("k", b"x" * (11 * KB))
+
+    def test_remove(self, cache):
+        cache.put("k", b"v")
+        assert cache.remove("k") is True
+        assert cache.remove("k") is False
+        assert cache.get("k") is None
+
+    def test_clear(self, cache):
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.clear()
+        assert cache.item_count == 0 and cache.bytes_used == 0
+
+
+class TestExpiry:
+    def test_absolute_ttl(self, cache, clock):
+        cache.put("k", b"v", ttl=50)
+        clock.advance(49)
+        assert cache.get("k") is not None
+        clock.advance(1)
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_default_ttl(self, cache, clock):
+        cache.put("k", b"v")  # default_ttl=100
+        clock.advance(100)
+        assert cache.get("k") is None
+
+    def test_sliding_ttl_renews_on_get(self, cache, clock):
+        cache.put("k", b"v", ttl=50, sliding=True)
+        for _ in range(5):
+            clock.advance(40)
+            assert cache.get("k") is not None  # each get renews
+        clock.advance(50)
+        assert cache.get("k") is None
+
+    def test_contains_does_not_renew(self, cache, clock):
+        cache.put("k", b"v", ttl=50, sliding=True)
+        clock.advance(40)
+        assert cache.contains("k")
+        clock.advance(40)  # 80 total: contains did not renew
+        assert not cache.contains("k")
+
+
+class TestEviction:
+    def test_lru_eviction(self, cache):
+        # capacity 10 KB; three 4 KB items force one eviction.
+        cache.put("a", b"x" * (4 * KB))
+        cache.put("b", b"x" * (4 * KB))
+        cache.get("a")  # touch a -> b becomes LRU
+        cache.put("c", b"x" * (4 * KB))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_bytes_accounting(self, cache):
+        cache.put("a", b"x" * 1000)
+        cache.put("b", b"y" * 500)
+        assert cache.bytes_used == 1500
+        cache.remove("a")
+        assert cache.bytes_used == 500
+
+    def test_keys_lru_order(self, cache):
+        cache.put("a", b"1")
+        cache.put("b", b"2")
+        cache.get("a")
+        assert cache.keys() == ["b", "a"]
+
+
+class TestStats:
+    def test_hit_rate(self, cache):
+        cache.put("k", b"v")
+        cache.get("k")
+        cache.get("k")
+        cache.get("ghost")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate(self, cache):
+        assert cache.stats.hit_rate == 0.0

@@ -1,0 +1,169 @@
+"""Unit + property tests for the content model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    BytesContent,
+    CompositeContent,
+    OutOfRangeError,
+    SyntheticContent,
+    ZeroContent,
+    as_content,
+    concat,
+    random_content,
+)
+
+
+class TestBytesContent:
+    def test_roundtrip(self):
+        c = BytesContent(b"hello world")
+        assert c.size == 11
+        assert c.to_bytes() == b"hello world"
+
+    def test_slice(self):
+        c = BytesContent(b"hello world")
+        assert c.slice(6, 11).to_bytes() == b"world"
+
+    def test_slice_out_of_range(self):
+        c = BytesContent(b"abc")
+        with pytest.raises(OutOfRangeError):
+            c.slice(0, 4)
+        with pytest.raises(OutOfRangeError):
+            c.slice(2, 1)
+
+    def test_len_and_eq(self):
+        assert len(BytesContent(b"abc")) == 3
+        assert BytesContent(b"abc") == BytesContent(b"abc")
+        assert BytesContent(b"abc") != BytesContent(b"abd")
+
+    def test_accepts_bytearray_and_memoryview(self):
+        assert BytesContent(bytearray(b"xy")).to_bytes() == b"xy"
+        assert BytesContent(memoryview(b"xy")).to_bytes() == b"xy"
+
+
+class TestSyntheticContent:
+    def test_deterministic(self):
+        a = SyntheticContent(1000, seed=7)
+        b = SyntheticContent(1000, seed=7)
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_seed_changes_bytes(self):
+        a = SyntheticContent(1000, seed=7)
+        b = SyntheticContent(1000, seed=8)
+        assert a.to_bytes() != b.to_bytes()
+
+    def test_slice_commutes_with_materialize(self):
+        c = SyntheticContent(4096, seed=3)
+        full = c.to_bytes()
+        assert c.slice(100, 200).to_bytes() == full[100:200]
+        assert c.slice(0, 4096).to_bytes() == full
+
+    def test_nested_slices(self):
+        c = SyntheticContent(4096, seed=3)
+        full = c.to_bytes()
+        assert c.slice(1000, 3000).slice(500, 600).to_bytes() == full[1500:1600]
+
+    def test_looks_random(self):
+        """Byte histogram must be roughly uniform (no stuck generator)."""
+        data = SyntheticContent(1 << 16, seed=0).to_bytes()
+        counts = [0] * 256
+        for b in data:
+            counts[b] += 1
+        expected = len(data) / 256
+        assert min(counts) > expected * 0.5
+        assert max(counts) < expected * 1.5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticContent(-1)
+
+    def test_zero_size(self):
+        assert SyntheticContent(0).to_bytes() == b""
+
+    def test_random_content_helper(self):
+        c = random_content(128, seed=5)
+        assert isinstance(c, SyntheticContent) and c.size == 128
+
+    @given(seed=st.integers(0, 2**63), origin=st.integers(0, 2**40),
+           size=st.integers(0, 2048),
+           a=st.integers(0, 2048), b=st.integers(0, 2048))
+    @settings(max_examples=60, deadline=None)
+    def test_property_slice_equals_byteslice(self, seed, origin, size, a, b):
+        lo, hi = sorted((min(a, size), min(b, size)))
+        c = SyntheticContent(size, seed=seed, origin=origin)
+        assert c.slice(lo, hi).to_bytes() == c.to_bytes()[lo:hi]
+
+
+class TestZeroContent:
+    def test_zeros(self):
+        z = ZeroContent(10)
+        assert z.to_bytes() == bytes(10)
+        assert z.slice(2, 5).to_bytes() == bytes(3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ZeroContent(-1)
+
+
+class TestComposite:
+    def test_concat_bytes(self):
+        c = concat([BytesContent(b"ab"), BytesContent(b"cd"), BytesContent(b"ef")])
+        assert c.to_bytes() == b"abcdef"
+
+    def test_concat_empty(self):
+        assert concat([]).to_bytes() == b""
+        assert concat([BytesContent(b"")]).to_bytes() == b""
+
+    def test_concat_single_passthrough(self):
+        single = BytesContent(b"x")
+        assert concat([single]) is single
+
+    def test_composite_slice_spanning_parts(self):
+        c = concat([BytesContent(b"abcd"), BytesContent(b"efgh"),
+                    BytesContent(b"ijkl")])
+        assert c.slice(2, 10).to_bytes() == b"cdefghij"
+
+    def test_composite_slice_within_one_part(self):
+        c = concat([BytesContent(b"abcd"), BytesContent(b"efgh")])
+        s = c.slice(5, 7)
+        assert s.to_bytes() == b"fg"
+
+    def test_composite_flattens_nested(self):
+        inner = concat([BytesContent(b"ab"), BytesContent(b"cd")])
+        outer = CompositeContent([inner, BytesContent(b"ef")])
+        assert len(outer.parts) == 3
+        assert outer.to_bytes() == b"abcdef"
+
+    def test_mixed_kinds(self):
+        c = concat([SyntheticContent(16, seed=1), ZeroContent(4),
+                    BytesContent(b"tail")])
+        expected = SyntheticContent(16, seed=1).to_bytes() + bytes(4) + b"tail"
+        assert c.to_bytes() == expected
+        assert c.slice(14, 22).to_bytes() == expected[14:22]
+
+    @given(parts=st.lists(st.binary(min_size=0, max_size=32), max_size=8),
+           a=st.integers(0, 300), b=st.integers(0, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_property_composite_slice(self, parts, a, b):
+        joined = b"".join(parts)
+        c = concat([BytesContent(p) for p in parts])
+        lo, hi = sorted((min(a, len(joined)), min(b, len(joined))))
+        assert c.slice(lo, hi).to_bytes() == joined[lo:hi]
+
+
+class TestAsContent:
+    def test_passthrough(self):
+        c = BytesContent(b"x")
+        assert as_content(c) is c
+
+    def test_bytes(self):
+        assert as_content(b"ab").to_bytes() == b"ab"
+
+    def test_str_utf8(self):
+        assert as_content("héllo").to_bytes() == "héllo".encode("utf-8")
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            as_content(123)

@@ -1,0 +1,136 @@
+"""Unit tests for naming rules, service limits, and ETags."""
+
+import pytest
+
+from repro.storage import (
+    ETagMismatchError,
+    InvalidNameError,
+    KB,
+    LIMITS_2010,
+    LIMITS_2012,
+    MB,
+    TB,
+    WILDCARD_ETAG,
+)
+from repro.storage.etag import ETagFactory, check_etag
+from repro.storage.naming import (
+    validate_account_name,
+    validate_blob_name,
+    validate_container_name,
+    validate_queue_name,
+    validate_table_name,
+)
+
+
+class TestNaming:
+    @pytest.mark.parametrize("name", ["abc", "my-container", "a1b2c3",
+                                      "x" * 63, "123", "$root"])
+    def test_valid_container_names(self, name):
+        assert validate_container_name(name) == name
+
+    @pytest.mark.parametrize("name", ["ab", "UPPER", "has_underscore",
+                                      "-leading", "trailing-", "dou--ble",
+                                      "x" * 64, "", "with space"])
+    def test_invalid_container_names(self, name):
+        with pytest.raises(InvalidNameError):
+            validate_container_name(name)
+
+    def test_container_name_type_checked(self):
+        with pytest.raises(InvalidNameError):
+            validate_container_name(123)
+
+    @pytest.mark.parametrize("name", ["a", "dir/file.txt", "x" * 1024,
+                                      "UPPER ok too"])
+    def test_valid_blob_names(self, name):
+        assert validate_blob_name(name) == name
+
+    @pytest.mark.parametrize("name", ["", "x" * 1025, "ends-with-dot.",
+                                      "ends-with-slash/"])
+    def test_invalid_blob_names(self, name):
+        with pytest.raises(InvalidNameError):
+            validate_blob_name(name)
+
+    @pytest.mark.parametrize("name", ["queue", "my-queue-1", "q12"])
+    def test_valid_queue_names(self, name):
+        assert validate_queue_name(name) == name
+
+    @pytest.mark.parametrize("name", ["Q", "qq", "UPPER", "under_score"])
+    def test_invalid_queue_names(self, name):
+        with pytest.raises(InvalidNameError):
+            validate_queue_name(name)
+
+    @pytest.mark.parametrize("name", ["MyTable", "AzureBenchTable", "abc",
+                                      "T23", "x" * 63])
+    def test_valid_table_names(self, name):
+        assert validate_table_name(name) == name
+
+    @pytest.mark.parametrize("name", ["1table", "has-dash", "ab",
+                                      "x" * 64, ""])
+    def test_invalid_table_names(self, name):
+        with pytest.raises(InvalidNameError):
+            validate_table_name(name)
+
+    @pytest.mark.parametrize("name", ["abc", "devstoreaccount1", "a" * 24])
+    def test_valid_account_names(self, name):
+        assert validate_account_name(name) == name
+
+    @pytest.mark.parametrize("name", ["ab", "UPPER", "a" * 25, "with-dash"])
+    def test_invalid_account_names(self, name):
+        with pytest.raises(InvalidNameError):
+            validate_account_name(name)
+
+
+class TestLimits:
+    def test_2012_values_from_paper(self):
+        lim = LIMITS_2012
+        assert lim.account_capacity_bytes == 100 * TB
+        assert lim.account_transactions_per_second == 5000
+        assert lim.account_bandwidth_bytes_per_second == 3 * 1024 * MB
+        assert lim.blob_throughput_bytes_per_second == 60 * MB
+        assert lim.max_block_bytes == 4 * MB
+        assert lim.max_blocks_per_blob == 50_000
+        assert lim.max_single_shot_blob_bytes == 64 * MB
+        assert lim.max_block_blob_bytes == 200 * 1024 * MB
+        assert lim.max_page_blob_bytes == 1 * TB
+        assert lim.page_alignment_bytes == 512
+        assert lim.queue_messages_per_second == 500
+        assert lim.max_message_bytes == 64 * KB
+        assert lim.max_message_payload_bytes == 49152  # "49152 Bytes to be precise"
+        assert lim.max_message_ttl_seconds == 7 * 24 * 3600
+        assert lim.partition_entities_per_second == 500
+        assert lim.max_entity_bytes == 1 * MB
+        assert lim.max_entity_properties == 255
+
+    def test_2010_era_restrictions(self):
+        assert LIMITS_2010.max_message_bytes == 8 * KB
+        assert LIMITS_2010.max_message_ttl_seconds == 2 * 3600
+        # Everything else matches the 2012 platform.
+        assert LIMITS_2010.max_block_bytes == LIMITS_2012.max_block_bytes
+
+    def test_with_overrides(self):
+        custom = LIMITS_2012.with_overrides(queue_messages_per_second=100)
+        assert custom.queue_messages_per_second == 100
+        assert LIMITS_2012.queue_messages_per_second == 500  # original intact
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            LIMITS_2012.max_block_bytes = 1
+
+
+class TestETag:
+    def test_factory_unique_and_monotonic(self):
+        f = ETagFactory()
+        tags = [f.next() for _ in range(100)]
+        assert len(set(tags)) == 100
+        assert tags == sorted(tags)
+
+    def test_check_exact_match(self):
+        check_etag("abc", "abc")  # no raise
+
+    def test_check_mismatch_raises(self):
+        with pytest.raises(ETagMismatchError):
+            check_etag("abc", "def")
+
+    def test_wildcard_matches_anything(self):
+        check_etag(WILDCARD_ETAG, "anything")
+        check_etag(None, "anything")

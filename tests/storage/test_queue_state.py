@@ -1,0 +1,307 @@
+"""Unit tests for the queue data plane: visibility, TTL, receipts, FIFO."""
+
+import pytest
+
+from repro.storage import (
+    InvalidOperationError,
+    KB,
+    LIMITS_2010,
+    ManualClock,
+    MessageNotFoundError,
+    MessageTooLargeError,
+    QueueNotFoundError,
+    ResourceExistsError,
+    StorageAccountState,
+    SyntheticContent,
+)
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def account(clock):
+    return StorageAccountState("testaccount", clock)
+
+
+@pytest.fixture
+def queue(account):
+    return account.queues.create_queue("tasks")
+
+
+class TestQueueManagement:
+    def test_create_idempotent(self, account):
+        q1 = account.queues.create_queue("q-a")
+        q2 = account.queues.create_queue("q-a")
+        assert q1 is q2
+
+    def test_create_fail_on_exist(self, account):
+        account.queues.create_queue("q-a")
+        with pytest.raises(ResourceExistsError):
+            account.queues.create_queue("q-a", fail_on_exist=True)
+
+    def test_get_missing(self, account):
+        with pytest.raises(QueueNotFoundError):
+            account.queues.get_queue("ghost")
+
+    def test_delete_queue_clears_usage(self, account, queue):
+        queue.put_message(b"x" * 100)
+        assert account.bytes_used == 100
+        account.queues.delete_queue("tasks")
+        assert account.bytes_used == 0
+
+    def test_list_queues(self, account):
+        for name in ("qa-one", "qa-two", "qb-one"):
+            account.queues.create_queue(name)
+        assert account.queues.list_queues("qa") == ["qa-one", "qa-two"]
+
+    def test_partition_key_is_queue_name(self, queue):
+        assert queue.partition_key() == "tasks"
+
+
+class TestPutMessage:
+    def test_basic_put(self, queue):
+        msg = queue.put_message(b"hello")
+        assert msg.content.to_bytes() == b"hello"
+        assert queue.approximate_message_count() == 1
+
+    def test_payload_size_limit(self, queue):
+        queue.put_message(SyntheticContent(48 * KB, seed=1))  # at the cap
+        with pytest.raises(MessageTooLargeError):
+            queue.put_message(SyntheticContent(48 * KB + 1, seed=1))
+
+    def test_2010_era_limit(self, clock):
+        account = StorageAccountState("oldaccount", clock, LIMITS_2010)
+        q = account.queues.create_queue("tasks")
+        with pytest.raises(MessageTooLargeError):
+            q.put_message(SyntheticContent(8 * KB, seed=1))
+
+    def test_ttl_capped_at_era_max(self, queue, clock):
+        msg = queue.put_message(b"x", ttl=999 * 24 * 3600)
+        assert msg.expiration_time == clock.now() + 7 * 24 * 3600
+
+    def test_invalid_ttl(self, queue):
+        with pytest.raises(InvalidOperationError):
+            queue.put_message(b"x", ttl=0)
+
+    def test_visibility_delay(self, queue, clock):
+        queue.put_message(b"x", visibility_delay=10)
+        assert queue.visible_message_count() == 0
+        assert queue.approximate_message_count() == 1
+        clock.advance(10)
+        assert queue.visible_message_count() == 1
+
+    def test_negative_visibility_delay(self, queue):
+        with pytest.raises(InvalidOperationError):
+            queue.put_message(b"x", visibility_delay=-1)
+
+
+class TestGetMessage:
+    def test_get_makes_invisible(self, queue, clock):
+        queue.put_message(b"a")
+        msg = queue.get_message(visibility_timeout=30)
+        assert msg is not None
+        assert queue.visible_message_count() == 0
+        assert queue.approximate_message_count() == 1
+        assert queue.get_message() is None  # invisible to everyone
+
+    def test_reappears_after_timeout(self, queue, clock):
+        queue.put_message(b"a")
+        m1 = queue.get_message(visibility_timeout=30)
+        clock.advance(30)
+        m2 = queue.get_message(visibility_timeout=30)
+        assert m2 is not None and m2.message_id == m1.message_id
+        assert m2.dequeue_count == 2
+
+    def test_dequeue_count_increments(self, queue, clock):
+        queue.put_message(b"a")
+        for expected in (1, 2, 3):
+            m = queue.get_message(visibility_timeout=1)
+            assert m.dequeue_count == expected
+            clock.advance(1)
+
+    def test_pop_receipt_rotates(self, queue, clock):
+        queue.put_message(b"a")
+        m1 = queue.get_message(visibility_timeout=1)
+        clock.advance(1)
+        m2 = queue.get_message(visibility_timeout=1)
+        assert m1.pop_receipt != m2.pop_receipt
+
+    def test_get_empty_queue(self, queue):
+        assert queue.get_message() is None
+
+    def test_get_many(self, queue):
+        for i in range(5):
+            queue.put_message(f"m{i}".encode())
+        got = queue.get_messages(3, visibility_timeout=10)
+        assert [m.content.to_bytes() for m in got] == [b"m0", b"m1", b"m2"]
+
+    def test_invalid_args(self, queue):
+        with pytest.raises(InvalidOperationError):
+            queue.get_messages(0)
+        with pytest.raises(InvalidOperationError):
+            queue.get_messages(1, visibility_timeout=0)
+
+    def test_default_visibility_timeout(self, queue, clock):
+        queue.put_message(b"a")
+        queue.get_message()  # default 30 s
+        clock.advance(29)
+        assert queue.visible_message_count() == 0
+        clock.advance(1)
+        assert queue.visible_message_count() == 1
+
+
+class TestPeekMessage:
+    def test_peek_no_state_change(self, queue):
+        queue.put_message(b"a")
+        m = queue.peek_message()
+        assert m is not None
+        assert m.dequeue_count == 0
+        assert queue.visible_message_count() == 1
+        # Peek again: same message still there.
+        assert queue.peek_message().message_id == m.message_id
+
+    def test_peek_empty(self, queue):
+        assert queue.peek_message() is None
+
+    def test_peek_skips_invisible(self, queue):
+        queue.put_message(b"a")
+        queue.put_message(b"b")
+        queue.get_message(visibility_timeout=100)
+        m = queue.peek_message()
+        assert m.content.to_bytes() == b"b"
+
+
+class TestDeleteMessage:
+    def test_delete_with_receipt(self, queue):
+        queue.put_message(b"a")
+        m = queue.get_message(visibility_timeout=10)
+        queue.delete_message(m.message_id, m.pop_receipt)
+        assert queue.approximate_message_count() == 0
+
+    def test_delete_with_wrong_receipt(self, queue):
+        queue.put_message(b"a")
+        m = queue.get_message(visibility_timeout=10)
+        with pytest.raises(MessageNotFoundError):
+            queue.delete_message(m.message_id, "bogus")
+
+    def test_delete_without_get_fails(self, queue):
+        msg = queue.put_message(b"a")
+        with pytest.raises(MessageNotFoundError):
+            queue.delete_message(msg.message_id, None)
+
+    def test_delete_missing(self, queue):
+        with pytest.raises(MessageNotFoundError):
+            queue.delete_message("ghost", "r")
+
+    def test_stale_receipt_after_regain(self, queue, clock):
+        """A crashed consumer's receipt is useless once another got it."""
+        queue.put_message(b"a")
+        m1 = queue.get_message(visibility_timeout=5)
+        clock.advance(5)  # consumer 1 "crashed"
+        m2 = queue.get_message(visibility_timeout=5)
+        with pytest.raises(MessageNotFoundError):
+            queue.delete_message(m1.message_id, m1.pop_receipt)
+        queue.delete_message(m2.message_id, m2.pop_receipt)  # current receipt works
+
+
+class TestUpdateMessage:
+    def test_update_content_and_visibility(self, queue, clock):
+        queue.put_message(b"old")
+        m = queue.get_message(visibility_timeout=10)
+        m2 = queue.update_message(m.message_id, m.pop_receipt, b"new",
+                                  visibility_timeout=3)
+        clock.advance(3)
+        got = queue.get_message()
+        assert got.content.to_bytes() == b"new"
+
+    def test_update_wrong_receipt(self, queue):
+        queue.put_message(b"a")
+        m = queue.get_message(visibility_timeout=10)
+        with pytest.raises(MessageNotFoundError):
+            queue.update_message(m.message_id, "bogus", b"x")
+
+    def test_update_size_limit(self, queue):
+        queue.put_message(b"a")
+        m = queue.get_message(visibility_timeout=10)
+        with pytest.raises(MessageTooLargeError):
+            queue.update_message(m.message_id, m.pop_receipt,
+                                 SyntheticContent(49 * KB, seed=0))
+
+
+class TestTTL:
+    def test_expiry(self, queue, clock):
+        queue.put_message(b"a", ttl=100)
+        clock.advance(99)
+        assert queue.approximate_message_count() == 1
+        clock.advance(1)
+        assert queue.approximate_message_count() == 0
+
+    def test_expiry_releases_usage(self, account, queue, clock):
+        queue.put_message(b"x" * 64, ttl=10)
+        assert account.bytes_used == 64
+        clock.advance(10)
+        queue.approximate_message_count()  # triggers purge
+        assert account.bytes_used == 0
+
+    def test_mixed_ttls(self, queue, clock):
+        queue.put_message(b"short", ttl=10)
+        queue.put_message(b"long", ttl=1000)
+        clock.advance(10)
+        assert queue.approximate_message_count() == 1
+        assert queue.peek_message().content.to_bytes() == b"long"
+
+    def test_2010_era_two_hours(self, clock):
+        account = StorageAccountState("oldaccount", clock, LIMITS_2010)
+        q = account.queues.create_queue("tasks")
+        q.put_message(b"x")  # default ttl capped at 2 h
+        clock.advance(2 * 3600)
+        assert q.approximate_message_count() == 0
+
+
+class TestFIFOBehaviour:
+    def test_strict_fifo_by_default(self, account, queue):
+        for i in range(10):
+            queue.put_message(f"m{i}".encode())
+        got = [queue.get_message(visibility_timeout=100).content.to_bytes()
+               for _ in range(10)]
+        assert got == [f"m{i}".encode() for i in range(10)]
+
+    def test_jittered_order_is_permutation(self, clock):
+        account = StorageAccountState("jitteracc", clock, fifo_jitter_seed=42)
+        q = account.queues.create_queue("tasks")
+        sent = [f"m{i}".encode() for i in range(20)]
+        for m in sent:
+            q.put_message(m)
+        got = [q.get_message(visibility_timeout=100).content.to_bytes()
+               for _ in range(20)]
+        assert sorted(got) == sorted(sent)
+        assert len(got) == 20
+
+    def test_jittered_order_eventually_reorders(self, clock):
+        """With the non-FIFO model on, some run must observe reordering —
+        this is exactly the poison-message hazard the paper warns about."""
+        reordered = False
+        for seed in range(5):
+            account = StorageAccountState("jitteracc", ManualClock(),
+                                          fifo_jitter_seed=seed)
+            q = account.queues.create_queue("tasks")
+            sent = [f"m{i}".encode() for i in range(20)]
+            for m in sent:
+                q.put_message(m)
+            got = [q.get_message(visibility_timeout=100).content.to_bytes()
+                   for _ in range(20)]
+            if got != sent:
+                reordered = True
+                break
+        assert reordered
+
+    def test_clear(self, queue, account):
+        for i in range(5):
+            queue.put_message(b"x")
+        queue.clear()
+        assert queue.approximate_message_count() == 0
+        assert account.bytes_used == 0
+        assert len(queue) == 0

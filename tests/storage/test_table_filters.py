@@ -1,0 +1,122 @@
+"""Unit tests for the OData-style filter parser."""
+
+import pytest
+
+from repro.storage.table.entity import Entity
+from repro.storage.table.filters import FilterError, parse_filter
+
+
+def make(pk="p", rk="r", **props):
+    return Entity(pk, rk, props, etag="t", timestamp=1.0)
+
+
+class TestComparisons:
+    def test_eq_string(self):
+        pred = parse_filter("Name eq 'alice'")
+        assert pred(make(Name="alice"))
+        assert not pred(make(Name="bob"))
+
+    def test_ne(self):
+        pred = parse_filter("Name ne 'alice'")
+        assert pred(make(Name="bob"))
+        assert not pred(make(Name="alice"))
+
+    @pytest.mark.parametrize("op,value,expected", [
+        ("gt", 10, [False, False, True]),
+        ("ge", 10, [False, True, True]),
+        ("lt", 10, [True, False, False]),
+        ("le", 10, [True, True, False]),
+    ])
+    def test_numeric_ops(self, op, value, expected):
+        pred = parse_filter(f"Size {op} {value}")
+        got = [pred(make(Size=s)) for s in (5, 10, 15)]
+        assert got == expected
+
+    def test_float_literal(self):
+        pred = parse_filter("Score gt 2.5")
+        assert pred(make(Score=3.0)) and not pred(make(Score=2.0))
+
+    def test_negative_number(self):
+        pred = parse_filter("Delta lt -1")
+        assert pred(make(Delta=-5)) and not pred(make(Delta=0))
+
+    def test_boolean_literals(self):
+        pred = parse_filter("Flag eq true")
+        assert pred(make(Flag=True)) and not pred(make(Flag=False))
+        pred2 = parse_filter("Flag eq false")
+        assert pred2(make(Flag=False))
+
+    def test_system_properties(self):
+        pred = parse_filter("PartitionKey eq 'p7' and RowKey ge '0100'")
+        assert pred(make(pk="p7", rk="0100"))
+        assert not pred(make(pk="p7", rk="0099"))
+        assert not pred(make(pk="p8", rk="0100"))
+
+    def test_escaped_quote(self):
+        pred = parse_filter("Name eq 'O''Brien'")
+        assert pred(make(Name="O'Brien"))
+
+    def test_missing_property_is_false(self):
+        pred = parse_filter("Ghost eq 1")
+        assert not pred(make(Other=1))
+
+    def test_type_mismatch_is_false(self):
+        pred = parse_filter("Size gt 'text'")
+        assert not pred(make(Size=5))
+
+
+class TestBooleanLogic:
+    def test_and(self):
+        pred = parse_filter("A eq 1 and B eq 2")
+        assert pred(make(A=1, B=2))
+        assert not pred(make(A=1, B=3))
+
+    def test_or(self):
+        pred = parse_filter("A eq 1 or B eq 2")
+        assert pred(make(A=1, B=9))
+        assert pred(make(A=9, B=2))
+        assert not pred(make(A=9, B=9))
+
+    def test_not(self):
+        pred = parse_filter("not A eq 1")
+        assert pred(make(A=2)) and not pred(make(A=1))
+
+    def test_precedence_and_binds_tighter(self):
+        pred = parse_filter("A eq 1 or B eq 2 and C eq 3")
+        assert pred(make(A=1, B=0, C=0))       # A matches
+        assert pred(make(A=0, B=2, C=3))       # B and C match
+        assert not pred(make(A=0, B=2, C=0))   # B alone insufficient
+
+    def test_parentheses_override(self):
+        pred = parse_filter("(A eq 1 or B eq 2) and C eq 3")
+        assert not pred(make(A=1, B=0, C=0))
+        assert pred(make(A=1, B=0, C=3))
+
+    def test_nested_not(self):
+        pred = parse_filter("not not A eq 1")
+        assert pred(make(A=1))
+
+    def test_case_insensitive_keywords(self):
+        pred = parse_filter("A EQ 1 AND B Ne 2")
+        assert pred(make(A=1, B=3))
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "A eq",
+        "eq 1",
+        "A eq 1 extra",
+        "A woof 1",
+        "(A eq 1",
+        "A eq B",          # bare identifier is not a literal
+        "A eq 'unterminated",
+        "A ?? 1",
+    ])
+    def test_bad_filters(self, bad):
+        with pytest.raises(FilterError):
+            parse_filter(bad)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(FilterError, match="position"):
+            parse_filter("A eq 1 or or")

@@ -1,0 +1,370 @@
+"""Unit tests for the table data plane: CRUD, ETags, queries, batches."""
+
+import pytest
+
+from repro.storage import (
+    BatchError,
+    BatchOperation,
+    EntityNotFoundError,
+    EntityTooLargeError,
+    ETagMismatchError,
+    InvalidOperationError,
+    KB,
+    MB,
+    ManualClock,
+    ResourceExistsError,
+    StorageAccountState,
+    SyntheticContent,
+    TableNotFoundError,
+    TooManyPropertiesError,
+)
+
+
+@pytest.fixture
+def account():
+    return StorageAccountState("testaccount", ManualClock())
+
+
+@pytest.fixture
+def table(account):
+    return account.tables.create_table("Bench")
+
+
+class TestTableManagement:
+    def test_create_idempotent(self, account):
+        assert account.tables.create_table("Tbl") is account.tables.create_table("Tbl")
+
+    def test_fail_on_exist(self, account):
+        account.tables.create_table("Tbl")
+        with pytest.raises(ResourceExistsError):
+            account.tables.create_table("Tbl", fail_on_exist=True)
+
+    def test_get_missing(self, account):
+        with pytest.raises(TableNotFoundError):
+            account.tables.get_table("Ghost")
+
+    def test_delete_releases_usage(self, account, table):
+        table.insert("p", "r", {"Data": b"x" * 100})
+        assert account.bytes_used > 0
+        account.tables.delete_table("Bench")
+        assert account.bytes_used == 0
+
+    def test_list_tables(self, account):
+        for n in ("Alpha", "Beta"):
+            account.tables.create_table(n)
+        assert account.tables.list_tables() == ["Alpha", "Beta"]
+
+
+class TestInsert:
+    def test_basic(self, table):
+        e = table.insert("p1", "r1", {"A": 1, "B": "text"})
+        assert e.partition_key == "p1" and e.row_key == "r1"
+        assert e["A"] == 1 and e["B"] == "text"
+        assert e.etag
+
+    def test_conflict(self, table):
+        table.insert("p1", "r1", {})
+        with pytest.raises(ResourceExistsError):
+            table.insert("p1", "r1", {})
+
+    def test_same_rowkey_different_partition_ok(self, table):
+        table.insert("p1", "r1", {})
+        table.insert("p2", "r1", {})
+        assert table.entity_count() == 2
+
+    def test_schema_less(self, table):
+        table.insert("p", "r1", {"A": 1})
+        table.insert("p", "r2", {"Completely": "different", "Props": True})
+        assert table.get("p", "r1").properties() == {"A": 1}
+        assert table.get("p", "r2")["Props"] is True
+
+    def test_reserved_property_rejected(self, table):
+        for name in ("PartitionKey", "RowKey", "Timestamp"):
+            with pytest.raises(InvalidOperationError):
+                table.insert("p", "r", {name: "x"})
+
+    def test_unsupported_type_rejected(self, table):
+        with pytest.raises(InvalidOperationError):
+            table.insert("p", "r", {"Bad": object()})
+
+    def test_entity_size_limit(self, table):
+        with pytest.raises(EntityTooLargeError):
+            table.insert("p", "r", {"Data": SyntheticContent(1 * MB + 1, seed=0)})
+
+    def test_property_count_limit(self, table):
+        props = {f"P{i:03d}": i for i in range(256)}
+        with pytest.raises(TooManyPropertiesError):
+            table.insert("p", "r", props)
+        table.insert("p", "r", {f"P{i:03d}": i for i in range(255)})
+
+    def test_non_string_keys_rejected(self, table):
+        with pytest.raises(InvalidOperationError):
+            table.insert(1, "r", {})
+
+
+class TestGetQuery:
+    def test_point_get(self, table):
+        table.insert("p", "r", {"X": 9})
+        assert table.get("p", "r")["X"] == 9
+
+    def test_get_missing(self, table):
+        with pytest.raises(EntityNotFoundError):
+            table.get("p", "ghost")
+        assert table.try_get("p", "ghost") is None
+
+    def test_system_properties_via_get(self, table):
+        e = table.insert("p", "r", {})
+        assert e.get("PartitionKey") == "p"
+        assert e.get("RowKey") == "r"
+        assert e.get("Timestamp") == e.timestamp
+
+    def test_query_all_sorted(self, table):
+        table.insert("b", "2", {})
+        table.insert("a", "1", {})
+        table.insert("b", "1", {})
+        keys = [e.key for e in table.query()]
+        assert keys == [("a", "1"), ("b", "1"), ("b", "2")]
+
+    def test_query_filter_string(self, table):
+        table.insert("p", "r1", {"Size": 10})
+        table.insert("p", "r2", {"Size": 20})
+        res = table.query("Size gt 15")
+        assert [e.row_key for e in res] == ["r2"]
+
+    def test_query_filter_callable(self, table):
+        table.insert("p", "r1", {"Size": 10})
+        table.insert("p", "r2", {"Size": 20})
+        res = table.query(lambda e: e["Size"] < 15)
+        assert [e.row_key for e in res] == ["r1"]
+
+    def test_query_top_and_continuation(self, table):
+        for i in range(10):
+            table.insert("p", f"{i:02d}", {})
+        page1 = table.query(top=4)
+        assert len(page1) == 4 and page1.continuation == ("p", "03")
+        page2 = table.query(top=4, continuation=page1.continuation)
+        assert [e.row_key for e in page2] == ["04", "05", "06", "07"]
+        page3 = table.query(top=4, continuation=page2.continuation)
+        assert [e.row_key for e in page3] == ["08", "09"]
+        assert page3.continuation is None
+
+    def test_query_top_exact_boundary(self, table):
+        for i in range(4):
+            table.insert("p", f"{i}", {})
+        page = table.query(top=4)
+        assert len(page) == 4 and page.continuation is None
+
+    def test_query_partition(self, table):
+        table.insert("a", "1", {"V": 1})
+        table.insert("a", "2", {"V": 2})
+        table.insert("b", "1", {"V": 3})
+        res = table.query_partition("a")
+        assert [e["V"] for e in res] == [1, 2]
+        assert table.query_partition("ghost") == []
+
+    def test_invalid_top(self, table):
+        with pytest.raises(InvalidOperationError):
+            table.query(top=0)
+
+    def test_invalid_filter_type(self, table):
+        with pytest.raises(InvalidOperationError):
+            table.query(filter=123)
+
+
+class TestUpdateMergeDelete:
+    def test_update_replaces_bag(self, table):
+        table.insert("p", "r", {"A": 1, "B": 2})
+        table.update("p", "r", {"C": 3})
+        assert table.get("p", "r").properties() == {"C": 3}
+
+    def test_merge_keeps_existing(self, table):
+        table.insert("p", "r", {"A": 1, "B": 2})
+        table.merge("p", "r", {"B": 20, "C": 3})
+        assert table.get("p", "r").properties() == {"A": 1, "B": 20, "C": 3}
+
+    def test_update_etag_check(self, table):
+        e = table.insert("p", "r", {"A": 1})
+        table.update("p", "r", {"A": 2}, etag=e.etag)
+        with pytest.raises(ETagMismatchError):
+            table.update("p", "r", {"A": 3}, etag=e.etag)  # stale now
+
+    def test_wildcard_update(self, table):
+        table.insert("p", "r", {"A": 1})
+        table.update("p", "r", {"A": 2}, etag="*")
+        table.update("p", "r", {"A": 3})  # default is wildcard
+        assert table.get("p", "r")["A"] == 3
+
+    def test_update_missing_entity(self, table):
+        with pytest.raises(EntityNotFoundError):
+            table.update("p", "ghost", {})
+
+    def test_etag_changes_on_every_write(self, table):
+        e1 = table.insert("p", "r", {"A": 1})
+        e2 = table.update("p", "r", {"A": 2})
+        e3 = table.merge("p", "r", {"B": 1})
+        assert len({e1.etag, e2.etag, e3.etag}) == 3
+
+    def test_insert_or_replace(self, table):
+        table.insert_or_replace("p", "r", {"A": 1})
+        table.insert_or_replace("p", "r", {"B": 2})
+        assert table.get("p", "r").properties() == {"B": 2}
+
+    def test_insert_or_merge(self, table):
+        table.insert_or_merge("p", "r", {"A": 1})
+        table.insert_or_merge("p", "r", {"B": 2})
+        assert table.get("p", "r").properties() == {"A": 1, "B": 2}
+
+    def test_delete(self, table):
+        table.insert("p", "r", {})
+        table.delete("p", "r")
+        assert table.try_get("p", "r") is None
+        assert table.partitions() == []
+
+    def test_delete_etag_check(self, table):
+        e = table.insert("p", "r", {})
+        table.update("p", "r", {"A": 1})
+        with pytest.raises(ETagMismatchError):
+            table.delete("p", "r", etag=e.etag)
+
+    def test_delete_missing(self, table):
+        with pytest.raises(EntityNotFoundError):
+            table.delete("p", "ghost")
+
+    def test_usage_accounting_roundtrip(self, account, table):
+        table.insert("p", "r", {"Data": b"x" * 1000})
+        used = account.bytes_used
+        assert used > 1000
+        table.update("p", "r", {"Data": b"x" * 100})
+        assert account.bytes_used < used
+        table.delete("p", "r")
+        assert account.bytes_used == 0
+        assert account.recompute_usage() == 0
+
+
+class TestBatch:
+    def test_atomic_success(self, table):
+        results = table.execute_batch([
+            BatchOperation("insert", "p", "r1", {"A": 1}),
+            BatchOperation("insert", "p", "r2", {"A": 2}),
+            BatchOperation("insert", "p", "r3", {"A": 3}),
+        ])
+        assert len(results) == 3
+        assert table.entity_count("p") == 3
+
+    def test_atomic_rollback(self, table):
+        table.insert("p", "r2", {"Old": True})
+        with pytest.raises(BatchError) as exc_info:
+            table.execute_batch([
+                BatchOperation("insert", "p", "r1", {}),
+                BatchOperation("insert", "p", "r2", {}),  # conflict
+            ])
+        assert exc_info.value.index == 1
+        # r1's insert rolled back; r2 unchanged.
+        assert table.try_get("p", "r1") is None
+        assert table.get("p", "r2")["Old"] is True
+
+    def test_rollback_restores_usage(self, account, table):
+        table.insert("p", "keep", {"Data": b"x" * 100})
+        used = account.bytes_used
+        with pytest.raises(BatchError):
+            table.execute_batch([
+                BatchOperation("insert", "p", "new", {"Data": b"y" * 500}),
+                BatchOperation("insert", "p", "keep", {}),  # conflict
+            ])
+        assert account.bytes_used == used
+        assert account.recompute_usage() == used
+
+    def test_cross_partition_rejected(self, table):
+        with pytest.raises(InvalidOperationError):
+            table.execute_batch([
+                BatchOperation("insert", "p1", "r", {}),
+                BatchOperation("insert", "p2", "r", {}),
+            ])
+
+    def test_duplicate_entity_rejected(self, table):
+        with pytest.raises(InvalidOperationError):
+            table.execute_batch([
+                BatchOperation("insert", "p", "r", {}),
+                BatchOperation("merge", "p", "r", {}),
+            ])
+
+    def test_size_limit(self, table):
+        ops = [BatchOperation("insert", "p", f"r{i}", {}) for i in range(101)]
+        with pytest.raises(InvalidOperationError):
+            table.execute_batch(ops)
+
+    def test_mixed_operations(self, table):
+        table.insert("p", "upd", {"V": 1})
+        table.insert("p", "del", {})
+        table.execute_batch([
+            BatchOperation("insert", "p", "new", {"V": 9}),
+            BatchOperation("update", "p", "upd", {"V": 2}),
+            BatchOperation("delete", "p", "del"),
+            BatchOperation("upsert_merge", "p", "ups", {"V": 3}),
+        ])
+        assert table.get("p", "new")["V"] == 9
+        assert table.get("p", "upd")["V"] == 2
+        assert table.try_get("p", "del") is None
+        assert table.get("p", "ups")["V"] == 3
+
+    def test_empty_batch(self, table):
+        assert table.execute_batch([]) == []
+
+    def test_unknown_kind(self, table):
+        with pytest.raises(BatchError):
+            table.execute_batch([BatchOperation("explode", "p", "r")])
+
+
+class TestEntityIntrospection:
+    def test_entity_container_protocol(self, table):
+        e = table.insert("p", "r", {"A": 1, "B": 2})
+        assert "A" in e and "PartitionKey" in e and "Z" not in e
+        assert sorted(e) == ["A", "B"]
+        assert len(e) == 2
+        with pytest.raises(KeyError):
+            _ = e["Missing"]
+
+    def test_partitions_listing(self, table):
+        table.insert("b", "1", {})
+        table.insert("a", "1", {})
+        assert table.partitions() == ["a", "b"]
+        assert table.entity_count("a") == 1
+        assert table.entity_count() == 2
+        assert len(table) == 2
+
+
+class TestSelectProjection:
+    def test_query_select(self, table):
+        table.insert("p", "r1", {"A": 1, "B": 2, "C": 3})
+        res = table.query(select=["A", "C"])
+        assert res.entities[0].properties() == {"A": 1, "C": 3}
+        # System properties survive projection.
+        assert res.entities[0].partition_key == "p"
+
+    def test_select_missing_property_omitted(self, table):
+        table.insert("p", "r1", {"A": 1})
+        res = table.query(select=["A", "Ghost"])
+        assert res.entities[0].properties() == {"A": 1}
+
+    def test_filter_sees_unprojected_entity(self, table):
+        table.insert("p", "r1", {"A": 1, "B": 2})
+        res = table.query("B eq 2", select=["A"])
+        assert len(res) == 1
+        assert res.entities[0].properties() == {"A": 1}
+
+    def test_select_with_pagination(self, table):
+        for i in range(5):
+            table.insert("p", f"r{i}", {"A": i, "B": -i})
+        page = table.query(top=2, select=["A"])
+        assert all(e.properties().keys() == {"A"} for e in page)
+        assert page.continuation is not None
+
+    def test_query_partition_select(self, table):
+        table.insert("p", "r1", {"A": 1, "B": 2})
+        out = table.query_partition("p", select=["B"])
+        assert out[0].properties() == {"B": 2}
+
+    def test_projection_does_not_mutate_stored(self, table):
+        table.insert("p", "r1", {"A": 1, "B": 2})
+        table.query(select=["A"])
+        assert table.get("p", "r1").properties() == {"A": 1, "B": 2}

@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_requires_valid_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "12"])
+
+    def test_fig_flags(self):
+        args = build_parser().parse_args(["fig", "4", "--full", "--csv", "x"])
+        assert args.number == "4" and args.full and args.csv == "x"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4" in out and "Fig 9" in out
+
+    def test_claims(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6_get_16k_anomaly" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Extra Small" in out and "2040" in out
+
+    def test_fig9_runs(self, capsys, monkeypatch, tmp_path):
+        # Shrink the work: monkeypatch the quick scale used by the CLI.
+        from repro.bench import BenchScale
+        from repro.storage import KB
+        import repro.cli as cli
+        tiny = BenchScale(
+            name="tiny", worker_counts=(1, 2), blob_total_chunks=4,
+            blob_repeats=1, queue_total_messages=20,
+            queue_message_sizes=(4 * KB, 16 * KB, 32 * KB),
+            shared_total_transactions=20, shared_think_times=(0.5,),
+            table_entity_count=5,
+            table_entity_sizes=(4 * KB, 32 * KB),
+        )
+        monkeypatch.setattr(cli, "QUICK_SCALE", tiny)
+
+        csv_dir = str(tmp_path / "csv")
+        assert main(["fig", "9", "--csv", csv_dir]) == 0
+        out = capsys.readouterr().out
+        assert "queue put" in out and "table update" in out
+        assert os.path.exists(os.path.join(csv_dir, "fig_9.csv"))
+
+    def test_fig4_runs(self, capsys, monkeypatch):
+        from repro.bench import BenchScale
+        from repro.storage import KB
+        import repro.cli as cli
+        tiny = BenchScale(
+            name="tiny", worker_counts=(1, 2), blob_total_chunks=4,
+            blob_repeats=1, queue_total_messages=20,
+            queue_message_sizes=(4 * KB,),
+            shared_total_transactions=20, shared_think_times=(0.5,),
+            table_entity_count=5, table_entity_sizes=(4 * KB,),
+        )
+        monkeypatch.setattr(cli, "QUICK_SCALE", tiny)
+        assert main(["fig", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4a" in out and "Fig 4b" in out
+
+
+class TestReport:
+    def test_report_command(self, capsys, monkeypatch, tmp_path):
+        from repro.bench import BenchScale
+        from repro.storage import KB
+        import repro.cli as cli
+        tiny = BenchScale(
+            name="tiny", worker_counts=(1, 2), blob_total_chunks=4,
+            blob_repeats=1, queue_total_messages=20,
+            queue_message_sizes=(4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB),
+            shared_total_transactions=20, shared_think_times=(0.5, 1.0),
+            table_entity_count=5,
+            table_entity_sizes=(4 * KB, 64 * KB),
+        )
+        monkeypatch.setattr(cli, "QUICK_SCALE", tiny)
+        out_file = str(tmp_path / "report.txt")
+        assert main(["report", "--out", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out
+        assert "Paper-vs-measured audit" in out
+        assert "Scalability analysis" in out
+        with open(out_file) as f:
+            assert "Fig 9" in f.read()
+
+
+class TestAudit:
+    def test_audit_command(self, capsys, monkeypatch):
+        from repro.bench import BenchScale
+        from repro.storage import KB
+        import repro.cli as cli
+        tiny = BenchScale(
+            name="tiny", worker_counts=(1, 2), blob_total_chunks=4,
+            blob_repeats=1, queue_total_messages=20,
+            queue_message_sizes=(4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB),
+            shared_total_transactions=20, shared_think_times=(0.5, 1.0),
+            table_entity_count=5, table_entity_sizes=(4 * KB, 64 * KB),
+        )
+        monkeypatch.setattr(cli, "QUICK_SCALE", tiny)
+        assert main(["audit"]) == 0  # all checks hold -> exit 0
+        out = capsys.readouterr().out
+        assert "checks hold" in out
+        assert "blob_max_upload_mbps" in out
+
+
+class TestAllFigureCommands:
+    @pytest.fixture
+    def tiny_cli(self, monkeypatch):
+        from repro.bench import BenchScale
+        from repro.storage import KB
+        import repro.cli as cli
+        tiny = BenchScale(
+            name="tiny", worker_counts=(1, 2), blob_total_chunks=4,
+            blob_repeats=1, queue_total_messages=20,
+            queue_message_sizes=(4 * KB, 16 * KB),
+            shared_total_transactions=20, shared_think_times=(0.5, 1.0),
+            table_entity_count=5, table_entity_sizes=(4 * KB,),
+        )
+        monkeypatch.setattr(cli, "QUICK_SCALE", tiny)
+        return cli
+
+    @pytest.mark.parametrize("number,expect", [
+        ("5", "Fig 5a"),
+        ("6", "Fig 6c"),
+        ("7", "Fig 7b"),
+        ("8", "Fig 8d"),
+    ])
+    def test_fig_commands(self, tiny_cli, capsys, number, expect):
+        assert main(["fig", number]) == 0
+        assert expect in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Tests for workload generators."""
+
+import json
+
+import pytest
+
+from repro.storage import KB
+from repro.workloads import (
+    GISTile,
+    bag_of_tasks,
+    gis_tiles,
+    payload_stream,
+    size_ladder,
+)
+
+
+class TestSizeLadder:
+    def test_paper_ladder(self):
+        assert size_ladder() == [4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB]
+
+    def test_custom_bounds(self):
+        assert size_ladder(1024, 4096) == [1024, 2048, 4096]
+
+    def test_single_rung(self):
+        assert size_ladder(1024, 1024) == [1024]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            size_ladder(0, 10)
+        with pytest.raises(ValueError):
+            size_ladder(100, 10)
+
+
+class TestPayloadStream:
+    def test_distinct_same_size(self):
+        stream = payload_stream(256, seed=1)
+        a, b, c = next(stream), next(stream), next(stream)
+        assert a.size == b.size == c.size == 256
+        assert len({a.to_bytes(), b.to_bytes(), c.to_bytes()}) == 3
+
+    def test_seeded_reproducible(self):
+        s1 = payload_stream(64, seed=9)
+        s2 = payload_stream(64, seed=9)
+        assert next(s1).to_bytes() == next(s2).to_bytes()
+
+
+class TestBagOfTasks:
+    def test_count_and_schema(self):
+        tasks = bag_of_tasks(10, seed=1)
+        assert len(tasks) == 10
+        for i, t in enumerate(tasks):
+            d = json.loads(t.decode())
+            assert d["task_id"] == i
+            assert 0.01 <= d["work_s"] <= 1.0
+
+    def test_seeded(self):
+        assert bag_of_tasks(5, seed=3) == bag_of_tasks(5, seed=3)
+        assert bag_of_tasks(5, seed=3) != bag_of_tasks(5, seed=4)
+
+    def test_empty(self):
+        assert bag_of_tasks(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bag_of_tasks(-1)
+
+
+class TestGISTiles:
+    def test_grid_layout(self):
+        tiles = gis_tiles(grid=4, seed=0)
+        assert len(tiles) == 16
+        assert {(t.x, t.y) for t in tiles} == {(x, y) for x in range(4)
+                                               for y in range(4)}
+
+    def test_seeded(self):
+        a = gis_tiles(grid=3, seed=5)
+        b = gis_tiles(grid=3, seed=5)
+        assert [(t.base_polygons, t.overlay_polygons) for t in a] == \
+            [(t.base_polygons, t.overlay_polygons) for t in b]
+
+    def test_hotspot_skew(self):
+        """Density must be heavily skewed and spatially clustered."""
+        tiles = gis_tiles(grid=8, seed=7)
+        loads = sorted(t.base_polygons * t.overlay_polygons for t in tiles)
+        assert loads[-1] > 20 * loads[len(loads) // 2]  # skew
+        # Clustering: the top-4 densest tiles are near one another.
+        top = sorted(tiles, key=lambda t: -t.base_polygons * t.overlay_polygons)[:4]
+        xs = [t.x for t in top]
+        ys = [t.y for t in top]
+        assert max(xs) - min(xs) <= 4 and max(ys) - min(ys) <= 4
+
+    def test_message_roundtrip(self):
+        tile = gis_tiles(grid=2, seed=1)[3]
+        assert GISTile.from_message(tile.to_message()) == tile
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gis_tiles(grid=0)

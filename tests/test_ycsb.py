@@ -1,0 +1,115 @@
+"""Tests for the YCSB-style workloads."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import RunConfig, run_bench
+from repro.workloads import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    YCSBWorkload,
+    ZipfianGenerator,
+    ycsb_worker_body,
+)
+
+
+class TestZipfian:
+    def test_range(self):
+        z = ZipfianGenerator(100, seed=1)
+        samples = z.sample(1000)
+        assert samples.min() >= 0
+        assert samples.max() < 100
+
+    def test_skew(self):
+        """Low keys must dominate: head heavier than a uniform draw."""
+        z = ZipfianGenerator(1000, seed=2)
+        samples = z.sample(4000)
+        head_mass = np.mean(samples < 10)
+        assert head_mass > 0.2  # uniform would give ~0.01
+
+    def test_seeded(self):
+        a = ZipfianGenerator(100, seed=3).sample(50)
+        b = ZipfianGenerator(100, seed=3).sample(50)
+        assert (a == b).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+    def test_n_one(self):
+        z = ZipfianGenerator(1, seed=1)
+        assert all(z.next() == 0 for _ in range(20))
+
+
+class TestWorkloadSpecs:
+    def test_core_workload_mixes(self):
+        assert WORKLOAD_A.read == WORKLOAD_A.update == 0.5
+        assert WORKLOAD_B.read == 0.95
+        assert WORKLOAD_C.read == 1.0
+        assert WORKLOAD_D.distribution == "latest"
+        assert WORKLOAD_E.scan == 0.95
+        assert WORKLOAD_F.update == 0.5
+
+    def test_proportions_validated(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload("bad", read=0.5, update=0.2, insert=0.0, scan=0.0)
+        with pytest.raises(ValueError):
+            YCSBWorkload("bad", read=1.0, update=0.0, insert=0.0, scan=0.0,
+                         distribution="bogus")
+
+    def test_operation_stream_proportions(self):
+        ops = list(WORKLOAD_B.operations(2000, seed=5))
+        kinds = [op for op, _ in ops]
+        read_frac = kinds.count("read") / len(kinds)
+        assert 0.90 < read_frac < 0.99
+
+    def test_insert_keys_are_fresh(self):
+        wl = YCSBWorkload("ins", read=0.0, update=0.0, insert=1.0, scan=0.0,
+                          record_count=10)
+        ops = list(wl.operations(5, seed=1))
+        keys = [k for _, k in ops]
+        assert keys == [10, 11, 12, 13, 14]
+
+    def test_latest_distribution_prefers_recent(self):
+        wl = dataclasses.replace(WORKLOAD_D, record_count=1000)
+        keys = [k for op, k in wl.operations(2000, seed=7) if op == "read"]
+        assert np.mean(np.array(keys) > 900) > 0.4
+
+    def test_stream_deterministic(self):
+        a = list(WORKLOAD_A.operations(100, seed=9))
+        b = list(WORKLOAD_A.operations(100, seed=9))
+        assert a == b
+
+
+class TestYCSBDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        wl = dataclasses.replace(WORKLOAD_A, record_count=40)
+        return run_bench(lambda: ycsb_worker_body(wl, ops_per_worker=30),
+                         RunConfig(workers=2, seed=4))
+
+    def test_phases_recorded(self, result):
+        names = set(result.phase_names())
+        assert "ycsb_read" in names and "ycsb_update" in names
+        total = sum(result.phase(n).total_ops for n in names)
+        assert total == 60  # 30 ops x 2 workers
+
+    def test_update_costlier_than_read(self, result):
+        read = result.phase("ycsb_read").mean_op_time
+        update = result.phase("ycsb_update").mean_op_time
+        assert update > read
+
+    def test_scan_workload_runs(self):
+        wl = dataclasses.replace(WORKLOAD_E, record_count=30,
+                                 max_scan_length=5)
+        result = run_bench(lambda: ycsb_worker_body(wl, ops_per_worker=15),
+                           RunConfig(workers=2, seed=4))
+        assert result.phase("ycsb_scan").total_ops > 0
