@@ -71,6 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
         "audit", help="run only the paper-vs-measured audit table")
     audit.add_argument("--full", action="store_true")
 
+    faults = sub.add_parser(
+        "faults", help="fault-injection profiles (chaos runs)")
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+    fsub.add_parser("list", help="list the named fault profiles")
+    frun = fsub.add_parser(
+        "run", help="run the bag-of-tasks app under a fault profile")
+    frun.add_argument("profile", help="profile name (see 'faults list')")
+    frun.add_argument("--policy", default="fixed",
+                      help="retry policy (default: the paper's fixed 1 s)")
+    frun.add_argument("--tasks", type=int, default=24)
+    frun.add_argument("--workers", type=int, default=4)
+    frun.add_argument("--seed", type=int, default=31)
+    frun.add_argument("--trace", action="store_true",
+                      help="also print the injected-fault event trace")
+
     return parser
 
 
@@ -97,6 +112,49 @@ def _figures_for(runner: FigureRunner, number: str) -> List:
     if number == "8":
         return list(runner.figure8().values())
     return [runner.figure9()]
+
+
+def _run_faults(args) -> int:
+    from .faults.profiles import (
+        POLICIES, PROFILES, get_profile, run_faulted_taskpool)
+
+    if args.faults_command == "list":
+        print("Fault profiles (repro faults run <profile>):")
+        for name in sorted(PROFILES):
+            print(f"  {name:16s} {PROFILES[name].description}")
+        print(f"\nRetry policies (--policy): {', '.join(sorted(POLICIES))}")
+        return 0
+
+    # run
+    try:
+        get_profile(args.profile)
+        result = run_faulted_taskpool(
+            args.profile, args.policy, tasks=args.tasks,
+            workers=args.workers, seed=args.seed)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(f"profile           {result['profile']}")
+    print(f"retry policy      {result['policy']}")
+    print(f"completed         {result['completed']} "
+          f"({result['results_collected']}/{result['tasks']} results)")
+    print(f"completion time   {result['completion_time']:.3f} s")
+    print(f"op attempts       {result['attempts']} "
+          f"(retries {result['retries']}, giveups {result['giveups']})")
+    print(f"retry amplification {result['retry_amplification']:.3f}")
+    print(f"backoff slept     {result['total_backoff']:.1f} s")
+    print(f"worker restarts   {result['worker_restarts']}")
+    for service, value in sorted(result["availability"].items()):
+        print(f"availability      {service}: {value:.4f}")
+    faults = result["faults_injected"]
+    print(f"faults injected   "
+          f"{', '.join(f'{k}={v}' for k, v in faults.items()) or 'none'}")
+    if args.trace:
+        print("fault trace (time, kind, service, partition):")
+        for event in result["trace"]:
+            print(f"  t={event[0]:<10.3f} {event[1]:<18s} "
+                  f"{event[2]:<6s} {event[3]}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,6 +197,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.out, "w") as f:
                 f.write(text)
         return 0
+
+    if args.command == "faults":
+        return _run_faults(args)
 
     if args.command == "audit":
         from .bench.compare import compare_to_paper, comparison_table

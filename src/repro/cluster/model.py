@@ -20,6 +20,8 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
+from ..faults.plan import FaultPlan
+from ..faults.spec import FaultKind, FaultSpec
 from ..simkit import Environment, Tally
 from ..storage.errors import ServerBusyError
 from ..storage.limits import LIMITS_2012, ServiceLimits
@@ -74,35 +76,45 @@ class StorageCluster:
         #: Per-kind observed service-time tallies (diagnostics / tests).
         self.op_times: Dict[OpKind, Tally] = {}
         self.server_busy_count = 0
-        #: Injected outage windows: (service, partition-or-None) -> list of
-        #: (start, end).  ``partition=None`` takes the whole service down.
-        self._outages: Dict[tuple, list] = {}
+        #: The active fault schedule (:mod:`repro.faults`), or None for a
+        #: healthy fabric.  Consulted on every :meth:`execute`.
+        self.fault_plan: Optional[FaultPlan] = None
 
     # -- fault injection ---------------------------------------------------
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or clear) the fault schedule for this fabric."""
+        self.fault_plan = plan
+
     def inject_outage(self, service: Service, start: float, duration: float,
                       *, partition: Optional[str] = None) -> None:
-        """Schedule an availability outage.
+        """Schedule an availability outage (compatibility shim).
 
         Operations targeting the service (optionally one partition) during
         ``[start, start+duration)`` fail with :class:`ServerBusyError` —
         modelling the storage-stamp incidents the 2012 SLA covered.  The
         paper's retry discipline (sleep 1 s, retry) rides through them.
-        """
-        if duration <= 0:
-            raise ValueError("duration must be > 0")
-        key = (service, partition)
-        self._outages.setdefault(key, []).append((start, start + duration))
 
-    def _check_outage(self, op: OpDescriptor) -> None:
-        now = self.env.now
-        for key in ((op.service, None), (op.service, op.partition)):
-            for start, end in self._outages.get(key, ()):  # few windows
-                if start <= now < end:
-                    self.server_busy_count += 1
-                    raise ServerBusyError(
-                        f"{op.service.value} unavailable (injected outage)",
-                        retry_after=self.cal.throttle_retry_after_s,
-                    )
+        This predates :mod:`repro.faults` and now just appends an OUTAGE
+        spec to the installed (or a lazily-created) :class:`FaultPlan`.
+        """
+        spec = FaultSpec(
+            kind=FaultKind.OUTAGE, service=service.value, partition=partition,
+            start=start, duration=duration,
+            retry_after=self.cal.throttle_retry_after_s,
+        )
+        if self.fault_plan is None:
+            self.fault_plan = FaultPlan()
+        self.fault_plan.add(spec)
+
+    def pool_for(self, service: Service) -> ServerPool:
+        """The partition-server pool backing one service."""
+        if service is Service.BLOB:
+            return self.blob_servers
+        if service is Service.QUEUE:
+            return self.queue_servers
+        if service is Service.CACHE:
+            return self.cache_servers
+        return self.table_servers
 
     # -- throttles ----------------------------------------------------------
     def _queue_throttle(self, partition: str) -> SlidingWindowThrottle:
@@ -238,13 +250,7 @@ class StorageCluster:
 
     def server_for(self, op: OpDescriptor) -> PartitionServer:
         """The partition server handling this op (placement rules)."""
-        if op.service is Service.BLOB:
-            return self.blob_servers.server_for(op.partition)
-        if op.service is Service.QUEUE:
-            return self.queue_servers.server_for(op.partition)
-        if op.service is Service.CACHE:
-            return self.cache_servers.server_for(op.partition)
-        return self.table_servers.server_for(op.partition)
+        return self.pool_for(op.service).server_for(op.partition)
 
     def _jitter(self) -> float:
         sigma = self.cal.jitter_sigma
@@ -258,13 +264,28 @@ class StorageCluster:
         """Simkit process generator charging the timing of one operation.
 
         Raises :class:`ServerBusyError` *before* consuming time if a
-        scalability target is exceeded; the caller is expected to back off
-        and retry, like the paper's worker roles.
+        scalability target is exceeded (or an injected outage/throttle
+        fault fires); the caller is expected to back off and retry, like
+        the paper's worker roles.  Injected timeout faults burn their
+        ``timeout_after`` first, injected latency windows stretch the
+        round trip.
         """
-        self._check_outage(op)
+        fault_factor, timeout_spec = 1.0, None
+        if self.fault_plan is not None:
+            try:
+                fault_factor, timeout_spec = self.fault_plan.pre_execute(
+                    op, self.env.now, self)
+            except ServerBusyError:
+                self.server_busy_count += 1
+                raise
         self._charge_throttles(op)
-        rtt = self.base_rtt(op) * self._jitter()
-        occupancy = self.server_occupancy(op) * self._jitter()
+        if timeout_spec is not None:
+            # The request is doomed: it consumes the timeout budget (and
+            # nothing else — the server never completes the work).
+            yield self.env.timeout(timeout_spec.timeout_after)
+            raise self.fault_plan.record_timeout(timeout_spec, op, self.env.now)
+        rtt = self.base_rtt(op) * self._jitter() * fault_factor
+        occupancy = self.server_occupancy(op) * self._jitter() * fault_factor
         server = self.server_for(op)
         start = self.env.now
         # Request leg of the round trip.

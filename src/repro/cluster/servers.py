@@ -85,6 +85,10 @@ class ServerPool:
             h = (h * 131 + ord(ch)) & 0x7FFFFFFF
         return f"shard-{h % self.shards}"
 
+    def server_key(self, partition: str) -> str:
+        """Public placement lookup: which server key hosts ``partition``."""
+        return self._server_key(partition)
+
     def server_for(self, partition: str) -> PartitionServer:
         key = self._server_key(partition)
         server = self._servers.get(key)
@@ -94,6 +98,16 @@ class ServerPool:
             )
             self._servers[key] = server
         return server
+
+    def evict(self, partition: str) -> Optional[PartitionServer]:
+        """Drop the server hosting ``partition`` (fault injection).
+
+        Models a partition-range reassignment after a server crash: the
+        next operation against the range lands on a fresh server (empty
+        queue, cold counters).  Returns the evicted server, or ``None``
+        if the range had no server yet.
+        """
+        return self._servers.pop(self._server_key(partition), None)
 
     @property
     def servers(self) -> Dict[str, PartitionServer]:

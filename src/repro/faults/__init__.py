@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the simulated storage fabric.
+
+The package has two layers:
+
+* :mod:`repro.faults.spec` / :mod:`repro.faults.plan` — the engine: a
+  :class:`FaultPlan` of seeded, schedulable :class:`FaultSpec`\\ s that
+  :class:`repro.cluster.model.StorageCluster` consults on every
+  operation.  This module intentionally does **not** import the cluster
+  (the cluster imports us), so only the engine is re-exported here.
+* :mod:`repro.faults.profiles` — named, ready-made fault scenarios plus
+  a bag-of-tasks run harness.  Import it explicitly
+  (``from repro.faults.profiles import PROFILES``); it pulls in the
+  framework and sim layers.
+"""
+
+from .plan import FaultPlan
+from .spec import FaultEvent, FaultKind, FaultSpec
+
+__all__ = ["FaultPlan", "FaultSpec", "FaultKind", "FaultEvent"]

@@ -1,0 +1,132 @@
+"""Fault specifications: what goes wrong, where, and when.
+
+A :class:`FaultSpec` is a declarative, immutable description of one
+failure mode scheduled against the simulated fabric.  A set of specs plus
+a seed forms a :class:`~repro.faults.plan.FaultPlan` — the executable,
+reproducible fault schedule.
+
+The vocabulary generalizes the real 2012-era failure modes the paper and
+its background literature describe:
+
+* **OUTAGE** — a whole service (or one partition) hard-down for a window;
+  the storage-stamp incidents the 99.9% SLA budgeted for.
+* **THROTTLE** — probabilistic ``503 ServerBusy`` storms, i.e. the
+  scalability-target rejections of paper IV.C but clustered in time.
+* **TRANSIENT_ERROR** — probabilistic ``500 InternalError`` responses
+  that succeed on retry (flaky front-ends).
+* **TIMEOUT** — the request consumes the client's patience and then
+  fails; the op burns ``timeout_after`` simulated seconds first.
+* **LATENCY** — a degradation window multiplying service latency
+  (overloaded or recovering infrastructure).
+* **PARTITION_CRASH** — a partition server crashes; its range is
+  unavailable for ``failover_delay`` seconds and is then *reassigned* to
+  a fresh server (Calder et al., SOSP'11).
+* **MESSAGE_LOSS** — an acked ``PutMessage`` whose payload never lands.
+* **DUPLICATE_DELIVERY** — a gotten message is immediately re-exposed to
+  other consumers (the at-least-once anomaly).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FaultKind", "FaultSpec", "FaultEvent"]
+
+
+class FaultKind(str, enum.Enum):
+    """The failure modes the fault engine can inject."""
+
+    OUTAGE = "outage"
+    THROTTLE = "throttle"
+    TRANSIENT_ERROR = "transient_error"
+    TIMEOUT = "timeout"
+    LATENCY = "latency"
+    PARTITION_CRASH = "partition_crash"
+    MESSAGE_LOSS = "message_loss"
+    DUPLICATE_DELIVERY = "duplicate_delivery"
+
+
+#: Kinds that only make sense against the queue service's data plane.
+QUEUE_ONLY_KINDS = frozenset({
+    FaultKind.MESSAGE_LOSS, FaultKind.DUPLICATE_DELIVERY,
+})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled failure mode.
+
+    ``service`` may be a :class:`repro.cluster.Service` member or its
+    string value (``"blob"``/``"queue"``/``"table"``/``"cache"``);
+    ``None`` matches every service.  ``partition`` of ``None`` matches
+    every partition.  ``probability`` applies per matching operation (it
+    is ignored by PARTITION_CRASH, which is a single scheduled event).
+    """
+
+    kind: FaultKind
+    service: Optional[str] = None
+    partition: Optional[str] = None
+    start: float = 0.0
+    duration: float = float("inf")
+    probability: float = 1.0
+    #: LATENCY: multiplier applied to RTT and server occupancy.
+    latency_factor: float = 1.0
+    #: TIMEOUT: seconds the doomed request burns before failing.
+    timeout_after: float = 30.0
+    #: PARTITION_CRASH: seconds until the partition range is reassigned.
+    failover_delay: float = 15.0
+    #: Retry-After hint carried by injected 503s (None: fabric default).
+    retry_after: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise TypeError(f"kind must be a FaultKind, got {self.kind!r}")
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.latency_factor <= 0:
+            raise ValueError("latency_factor must be > 0")
+        if self.timeout_after <= 0:
+            raise ValueError("timeout_after must be > 0")
+        if self.failover_delay <= 0:
+            raise ValueError("failover_delay must be > 0")
+        if self.kind in QUEUE_ONLY_KINDS and self.service not in (None, "queue"):
+            raise ValueError(f"{self.kind.value} faults only apply to the "
+                             f"queue service, not {self.service!r}")
+
+    @property
+    def end(self) -> float:
+        """End of the fault window (crash faults: end of failover)."""
+        if self.kind is FaultKind.PARTITION_CRASH:
+            return self.start + self.failover_delay
+        return self.start + self.duration
+
+    def active(self, now: float) -> bool:
+        """Is the fault window open at simulation time ``now``?"""
+        return self.start <= now < self.end
+
+    def matches(self, service: str, partition: str) -> bool:
+        """Does an op against (service, partition) fall under this spec?"""
+        if self.service is not None and self.service != service:
+            return False
+        if self.partition is not None and self.partition != partition:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence — a line of the reproducible trace."""
+
+    time: float
+    kind: FaultKind
+    service: str
+    partition: str
+
+    def as_tuple(self) -> tuple:
+        return (self.time, self.kind.value, self.service, self.partition)

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, List, Optional, Sequence
 
 from ..compute.roles import RoleContext
+from ..resilience import RetryPolicy
 from ..sim.retry import retrying
 from ..storage.errors import MessageNotFoundError
 
@@ -57,6 +58,14 @@ class TaskPoolConfig:
     #: disables).  Queue redelivery is at-least-once; a task whose payload
     #: *crashes the handler* would otherwise loop forever.
     max_dequeue_count: Optional[int] = None
+    #: Retry policy for every storage op (None: the paper's fixed
+    #: 1-second sleep).  Pass an :mod:`repro.resilience` policy to change
+    #: the back-off schedule; its stats accumulate across the whole run.
+    retry_policy: Optional[RetryPolicy] = None
+    #: Per-op retry deadline in simulated seconds (None: retry forever,
+    #: the paper's behaviour).  When the budget runs out the error
+    #: surfaces to the role body — pair with a Supervisor to recycle.
+    retry_deadline: Optional[float] = None
 
     def task_queue_name(self, index: int) -> str:
         return f"{self.name}-tasks-{index}"
@@ -112,11 +121,14 @@ class TaskPoolApp:
     def _queue_client(self, ctx: RoleContext):
         return ctx.account.queue_client()
 
-    @staticmethod
-    def _retry(ctx: RoleContext, op_factory):
-        """Run a queue op with the paper's sleep-and-retry discipline, so
-        throttling and outages delay the app instead of crashing it."""
-        result = yield from retrying(ctx.env, op_factory)
+    def _retry(self, ctx: RoleContext, op_factory):
+        """Run a queue op under the configured resilience policy (default:
+        the paper's sleep-and-retry discipline), so throttling and outages
+        delay the app instead of crashing it."""
+        result = yield from retrying(
+            ctx.env, op_factory,
+            policy=self.config.retry_policy,
+            deadline=self.config.retry_deadline)
         return result
 
     def setup(self, ctx: RoleContext):

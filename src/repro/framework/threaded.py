@@ -18,7 +18,8 @@ import time
 from typing import Callable, List, Optional, Sequence
 
 from ..emulator import EmulatorAccount
-from ..storage.errors import MessageNotFoundError, ServerBusyError
+from ..resilience import FixedBackoff
+from ..storage.errors import RETRYABLE_ERRORS, MessageNotFoundError
 from .taskpool import TaskPoolConfig, TaskResult
 
 __all__ = ["ThreadedTaskPool"]
@@ -53,13 +54,20 @@ class ThreadedTaskPool:
         if self.config.max_dequeue_count is not None:
             qc.create_queue(self.config.poison_queue_name)
 
-    @staticmethod
-    def _with_retry(fn):
+    def _with_retry(self, fn):
+        """Paper discipline on real threads: back off (wall clock) and
+        retry, under the configured policy when one is set."""
+        policy = self.config.retry_policy or FixedBackoff()
+        attempt = 0
         while True:
             try:
                 return fn()
-            except ServerBusyError as exc:
-                time.sleep(exc.retry_after)
+            except RETRYABLE_ERRORS as exc:
+                attempt += 1
+                delay = policy.backoff(attempt, exc, now=time.monotonic())
+                if delay is None:  # policy gave up (e.g. budget exhausted)
+                    raise
+                time.sleep(delay)
 
     # -- worker thread ---------------------------------------------------
     def _worker(self, wid: int) -> None:

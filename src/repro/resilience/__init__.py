@@ -1,0 +1,30 @@
+"""Resilience policies: retry strategies, budgets, breakers, deadlines.
+
+The counterpart of :mod:`repro.faults`: where the fault engine decides
+what breaks, this package decides how clients cope.  The paper-faithful
+default everywhere is :class:`FixedBackoff` (sleep the server's
+Retry-After hint — 1 s — and retry forever); everything else exists so
+the robustness benchmarks can compare recovery strategies.
+"""
+
+from .breaker import BreakerState, CircuitBreaker, CircuitOpenError
+from .deadline import Deadline
+from .policy import (
+    ExponentialJitterBackoff,
+    FixedBackoff,
+    RetryBudget,
+    RetryPolicy,
+    RetryStats,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "RetryStats",
+    "FixedBackoff",
+    "ExponentialJitterBackoff",
+    "RetryBudget",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "BreakerState",
+    "Deadline",
+]

@@ -268,6 +268,10 @@ class SimBlobClient(_SimClientBase):
 class SimQueueClient(_SimClientBase):
     """Queue service client (paper Algorithms 2-4 API surface)."""
 
+    def _fault_plan(self):
+        """The cluster's fault schedule (queue data-plane faults)."""
+        return self.cluster.fault_plan
+
     def create_queue(self, name: str):
         yield from self._charge(OpDescriptor(
             Service.QUEUE, OpKind.CREATE_QUEUE, partition=name))
@@ -285,6 +289,12 @@ class SimQueueClient(_SimClientBase):
         yield from self._charge(OpDescriptor(
             Service.QUEUE, OpKind.PUT_MESSAGE, partition=queue,
             nbytes=content.size))
+        plan = self._fault_plan()
+        if plan is not None and plan.drop_message(queue, self.env.now):
+            # Injected message loss: the service acked the put but the
+            # payload never landed (lost replica write).
+            self.state.queues.get_queue(queue)  # still 404s if missing
+            return None
         return self.state.queues.get_queue(queue).put_message(
             content, ttl=ttl, visibility_delay=visibility_delay)
 
@@ -299,8 +309,15 @@ class SimQueueClient(_SimClientBase):
         nbytes = self._next_visible_size(queue)
         yield from self._charge(OpDescriptor(
             Service.QUEUE, OpKind.GET_MESSAGE, partition=queue, nbytes=nbytes))
-        return self.state.queues.get_queue(queue).get_message(
+        msg = self.state.queues.get_queue(queue).get_message(
             visibility_timeout=visibility_timeout)
+        plan = self._fault_plan()
+        if (msg is not None and plan is not None
+                and plan.duplicate_delivery(queue, self.env.now)):
+            # Injected duplicate delivery: the message stays visible, so
+            # another consumer receives it too (at-least-once anomaly).
+            self.state.queues.get_queue(queue).make_visible(msg.message_id)
+        return msg
 
     def get_messages(self, queue: str, n: int = 1, *,
                      visibility_timeout: Optional[float] = None):
@@ -313,7 +330,13 @@ class SimQueueClient(_SimClientBase):
         yield from self._charge(OpDescriptor(
             Service.QUEUE, OpKind.GET_MESSAGE, partition=queue,
             nbytes=nbytes, units=max(1, len(visible))))
-        return q.get_messages(n, visibility_timeout=visibility_timeout)
+        got = q.get_messages(n, visibility_timeout=visibility_timeout)
+        plan = self._fault_plan()
+        if plan is not None:
+            for m in got:
+                if plan.duplicate_delivery(queue, self.env.now):
+                    q.make_visible(m.message_id)
+        return got
 
     def peek_message(self, queue: str):
         """``PeekMessage``: non-destructive read, or ``None``."""

@@ -49,8 +49,11 @@ from .errors import (
     QueueNotFoundError,
     ResourceExistsError,
     ResourceNotFoundError,
+    RETRYABLE_ERRORS,
+    OperationTimedOutError,
     ServerBusyError,
     StorageError,
+    TransientServerError,
     TableNotFoundError,
     TooManyBlocksError,
     TooManyPropertiesError,
@@ -115,6 +118,9 @@ __all__ = [
     # errors
     "StorageError",
     "ServerBusyError",
+    "TransientServerError",
+    "OperationTimedOutError",
+    "RETRYABLE_ERRORS",
     "ResourceNotFoundError",
     "ContainerNotFoundError",
     "BlobNotFoundError",

@@ -26,6 +26,8 @@ __all__ = [
     "HourlyMetrics",
     "MetricsAggregator",
     "attach_analytics",
+    "ResilienceSummary",
+    "resilience_summary",
 ]
 
 
@@ -165,6 +167,10 @@ class MetricsAggregator:
     def hours(self) -> List[int]:
         return sorted({h for h, _, _ in self._cells})
 
+    def services(self) -> List[str]:
+        """Service names that have observed any traffic."""
+        return sorted({s for _, s, _ in self._cells})
+
     def service_totals(self, service: str) -> HourlyMetrics:
         """All-hours aggregate for one service."""
         total = HourlyMetrics(-1, service, "*")
@@ -221,3 +227,75 @@ def attach_analytics(cluster, *, log: Optional[RequestLog] = None,
 
     cluster.execute = observed_execute
     return log, metrics
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Observed availability plus per-policy retry accounting for one run.
+
+    Ties together the three instrumentation layers of a robustness
+    experiment: Storage Analytics (what the service observed), the retry
+    policy's :class:`~repro.resilience.RetryStats` (what the client paid),
+    and the fault plan's occurrence counts (what was injected).
+    """
+
+    policy: str
+    #: Client-side attempts (first tries + retries).
+    attempts: int
+    #: Back-off sleeps taken.
+    retries: int
+    #: Retryable failures surfaced to the application.
+    giveups: int
+    #: Total simulated seconds slept between attempts.
+    total_backoff: float
+    #: attempts / logical ops — the paper's 1.0 means "no retry storm".
+    retry_amplification: float
+    #: Observed availability per service, from the analytics rollups.
+    availability: Dict[str, float]
+    #: Injected fault occurrences per fault kind (empty without a plan).
+    faults_injected: Dict[str, int]
+    #: Circuit-breaker trips (0 without a breaker).
+    breaker_trips: int = 0
+
+    def to_text(self) -> str:
+        avail = ", ".join(f"{s}={v:.3f}" for s, v in
+                          sorted(self.availability.items())) or "n/a"
+        faults = ", ".join(f"{k}={v}" for k, v in
+                           sorted(self.faults_injected.items())) or "none"
+        return (f"policy={self.policy} attempts={self.attempts} "
+                f"retries={self.retries} giveups={self.giveups} "
+                f"backoff={self.total_backoff:.1f}s "
+                f"amplification={self.retry_amplification:.3f} "
+                f"availability[{avail}] faults[{faults}] "
+                f"trips={self.breaker_trips}")
+
+
+def resilience_summary(metrics: MetricsAggregator, *, policy=None,
+                       plan=None, breaker=None) -> ResilienceSummary:
+    """Fold a run's resilience counters into one reportable record.
+
+    ``policy`` is a :class:`repro.resilience.RetryPolicy` (or anything
+    with a compatible ``stats``), ``plan`` a
+    :class:`repro.faults.FaultPlan`, ``breaker`` a
+    :class:`repro.resilience.CircuitBreaker`; each is optional.
+    """
+    stats = getattr(policy, "stats", None)
+    availability = {
+        service: metrics.service_totals(service).availability
+        for service in metrics.services()
+    }
+    faults = {}
+    if plan is not None:
+        faults = {kind.value: n for kind, n in sorted(
+            plan.counts.items(), key=lambda kv: kv[0].value)}
+    return ResilienceSummary(
+        policy=stats.policy if stats is not None else "none",
+        attempts=stats.attempts if stats is not None else 0,
+        retries=stats.retries if stats is not None else 0,
+        giveups=stats.giveups if stats is not None else 0,
+        total_backoff=stats.total_backoff if stats is not None else 0.0,
+        retry_amplification=stats.amplification if stats is not None else 1.0,
+        availability=availability,
+        faults_injected=faults,
+        breaker_trips=breaker.trips if breaker is not None else 0,
+    )

@@ -12,6 +12,9 @@ from typing import Optional
 __all__ = [
     "StorageError",
     "ServerBusyError",
+    "TransientServerError",
+    "OperationTimedOutError",
+    "RETRYABLE_ERRORS",
     "ResourceNotFoundError",
     "ContainerNotFoundError",
     "BlobNotFoundError",
@@ -69,6 +72,42 @@ class ServerBusyError(StorageError):
     def __init__(self, message: str = "", *, retry_after: float = 1.0, **kw):
         super().__init__(message, **kw)
         self.retry_after = retry_after
+
+
+class TransientServerError(StorageError):
+    """A transient 500 that is expected to succeed on retry.
+
+    Injected by the fault engine (:mod:`repro.faults`) to model flaky
+    front-ends; like ``ServerBusy``, clients are expected to back off and
+    retry rather than fail the workload.
+    """
+
+    status_code = 500
+    error_code = "InternalError"
+
+    def __init__(self, message: str = "", *, retry_after: float = 1.0, **kw):
+        super().__init__(message, **kw)
+        self.retry_after = retry_after
+
+
+class OperationTimedOutError(StorageError):
+    """The request burned the server's time budget and then failed.
+
+    The 2012 service returned ``500 OperationTimedOut`` when a request
+    exceeded its processing deadline; the SDKs treated it as retryable.
+    """
+
+    status_code = 500
+    error_code = "OperationTimedOut"
+
+    def __init__(self, message: str = "", *, retry_after: float = 1.0, **kw):
+        super().__init__(message, **kw)
+        self.retry_after = retry_after
+
+
+#: Errors a well-behaved 2012 client retries (the SDK retry-policy set).
+RETRYABLE_ERRORS = (ServerBusyError, TransientServerError,
+                    OperationTimedOutError)
 
 
 class ResourceNotFoundError(StorageError):

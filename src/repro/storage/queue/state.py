@@ -252,6 +252,19 @@ class QueueState:
                 return replace(m)
         raise MessageNotFoundError(f"message {message_id!r} not found")
 
+    def make_visible(self, message_id: str) -> bool:
+        """Force a message visible *now*, ignoring its visibility timeout.
+
+        Fault-injection/test helper: models duplicate delivery — the
+        at-least-once anomaly where a gotten message is served to another
+        consumer as well.  Returns False if the message no longer exists.
+        """
+        for m in self._messages:
+            if m.message_id == message_id:
+                m.next_visible_time = self._now()
+                return True
+        return False
+
     def clear(self) -> None:
         """Delete all messages."""
         for m in self._messages:

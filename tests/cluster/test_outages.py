@@ -98,6 +98,100 @@ class TestOutages:
         with pytest.raises(ValueError):
             account.cluster.inject_outage(Service.BLOB, 0.0, 0.0)
 
+    def test_overlapping_outage_windows(self):
+        """Two outage windows [2,6) and [4,10): the service is down for
+        the union, not just one of them, and comes back at t=10."""
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        account.cluster.inject_outage(Service.QUEUE, start=2.0, duration=4.0)
+        account.cluster.inject_outage(Service.QUEUE, start=4.0, duration=6.0)
+        qc = account.queue_client()
+        probes = []
+
+        def body():
+            yield from qc.create_queue("vital")
+            for t in (3.0, 5.0, 8.0, 10.5):
+                yield env.timeout(t - env.now)
+                try:
+                    yield from qc.put_message("vital", b"x")
+                    probes.append((t, "ok"))
+                except ServerBusyError:
+                    probes.append((t, "down"))
+
+        env.process(body())
+        env.run()
+        # t=3: first window only; t=5: both; t=8: second only; t=10.5: up.
+        assert probes == [(3.0, "down"), (5.0, "down"), (8.0, "down"),
+                          (10.5, "ok")]
+
+    def test_overlapping_windows_count_one_rejection_per_op(self):
+        """An op inside two overlapping windows is rejected once, not
+        twice — the first matching window raises and short-circuits."""
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        account.cluster.inject_outage(Service.QUEUE, start=0.0, duration=9.0)
+        account.cluster.inject_outage(Service.QUEUE, start=0.0, duration=9.0)
+        qc = account.queue_client()
+
+        def body():
+            try:
+                yield from qc.create_queue("vital")
+            except ServerBusyError:
+                pass
+
+        env.process(body())
+        env.run()
+        plan = account.cluster.fault_plan
+        from repro.faults import FaultKind
+        assert plan.counts == {FaultKind.OUTAGE: 1}
+
+    def test_partition_outage_and_service_outage_compose(self):
+        """A partition-scoped window inside a later service-wide window:
+        the partition is down in both, siblings only in the second."""
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        account.cluster.inject_outage(Service.QUEUE, start=2.0, duration=4.0,
+                                      partition="down-queue")
+        account.cluster.inject_outage(Service.QUEUE, start=8.0, duration=4.0)
+        qc = account.queue_client()
+        seen = []
+
+        def check(t, queue):
+            try:
+                yield from qc.put_message(queue, b"x")
+                seen.append((t, queue, "ok"))
+            except ServerBusyError:
+                seen.append((t, queue, "down"))
+
+        def body():
+            yield from qc.create_queue("down-queue")
+            yield from qc.create_queue("up-queue")
+            for t in (3.0, 9.0):
+                yield env.timeout(t - env.now)
+                yield from check(t, "down-queue")
+                yield from check(t, "up-queue")
+
+        env.process(body())
+        env.run()
+        assert seen == [
+            (3.0, "down-queue", "down"), (3.0, "up-queue", "ok"),
+            (9.0, "down-queue", "down"), (9.0, "up-queue", "down"),
+        ]
+
+    def test_partition_outage_spares_other_services(self):
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        account.cluster.inject_outage(Service.QUEUE, start=0.0, duration=50.0,
+                                      partition="shared-name")
+        tc = account.table_client()
+
+        def body():
+            # Same partition key, different service: unaffected.
+            yield from tc.create_table("sharedname")
+
+        env.process(body())
+        env.run()  # must not raise
+
 
 class TestTracer:
     def test_tracer_sees_every_event(self):

@@ -1,0 +1,78 @@
+"""Property tests for ServerPool partition placement (_server_key).
+
+Placement must be a pure function of the partition name: stable across
+pools, processes, and platforms (Python's own ``hash`` is salted, which is
+exactly why the pool rolls its own), identity when unsharded, and
+reasonably uniform across shards so table range servers share load.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.servers import ServerPool
+from repro.simkit import Environment
+
+partition_names = st.text(min_size=0, max_size=64)
+shard_counts = st.integers(min_value=1, max_value=64)
+
+
+def make_pool(shards):
+    return ServerPool(Environment(), "pool", slots_per_server=4,
+                      shards=shards)
+
+
+class TestServerKeyProperties:
+    @given(partition=partition_names, shards=shard_counts)
+    @settings(max_examples=200)
+    def test_stable_across_pool_instances(self, partition, shards):
+        a = make_pool(shards)
+        b = make_pool(shards)
+        assert a.server_key(partition) == b.server_key(partition)
+
+    @given(partition=partition_names, shards=shard_counts)
+    @settings(max_examples=200)
+    def test_key_lands_on_a_valid_shard(self, partition, shards):
+        key = make_pool(shards).server_key(partition)
+        assert key.startswith("shard-")
+        assert 0 <= int(key[len("shard-"):]) < shards
+
+    @given(partition=partition_names)
+    @settings(max_examples=200)
+    def test_unsharded_pool_is_identity(self, partition):
+        # shards=None: every distinct partition gets its own server.
+        assert make_pool(None).server_key(partition) == partition
+
+    @given(partition=partition_names, shards=shard_counts)
+    @settings(max_examples=100)
+    def test_repeated_lookup_is_idempotent(self, partition, shards):
+        pool = make_pool(shards)
+        first = pool.server_key(partition)
+        pool.server_for(partition)  # materializing a server changes nothing
+        assert pool.server_key(partition) == first
+
+    def test_single_shard_degenerates_to_one_server(self):
+        pool = make_pool(1)
+        keys = {pool.server_key(f"partition-{i}") for i in range(50)}
+        assert keys == {"shard-0"}
+
+
+class TestDistribution:
+    def test_uniform_ish_over_shards(self):
+        """2000 realistic partition names over 8 shards: no shard may be
+        starved or hot beyond ~40% of the expected 250 per shard."""
+        shards = 8
+        pool = make_pool(shards)
+        counts = [0] * shards
+        for i in range(2000):
+            key = pool.server_key(f"table/customer-{i:05d}")
+            counts[int(key[len("shard-"):])] += 1
+        expected = 2000 / shards
+        assert sum(counts) == 2000
+        assert min(counts) > expected * 0.6, counts
+        assert max(counts) < expected * 1.4, counts
+
+    def test_distinct_names_usually_spread(self):
+        # Sanity against a constant hash: plenty of distinct shard keys.
+        pool = make_pool(16)
+        keys = {pool.server_key(f"queue-{i}") for i in range(200)}
+        assert len(keys) == 16

@@ -1,0 +1,135 @@
+"""Tests for the named fault profiles and the chaos harness.
+
+Includes the PR's two acceptance tests: fault injection is deterministic
+(an identical faulted run diffs clean, trace and all), and paper fidelity
+is preserved (the harness with no faults and the default fixed retry
+matches a plain paper-style run exactly).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.profiles import (
+    POLICIES,
+    PROFILES,
+    build_plan,
+    get_profile,
+    make_policy,
+    run_faulted_taskpool,
+)
+
+
+class TestRegistry:
+    def test_every_profile_builds_a_plan(self):
+        for name in PROFILES:
+            plan = build_plan(name, seed=3)
+            assert isinstance(plan, FaultPlan)
+            assert plan.seed == 3
+
+    def test_plans_are_fresh_per_build(self):
+        # Profiles are stateless; plans (RNG, trace) must not be shared.
+        assert build_plan("failover") is not build_plan("failover")
+
+    def test_policies_are_fresh_per_make(self):
+        a, b = make_policy("fixed"), make_policy("fixed")
+        assert a is not b and a.stats is not b.stats
+
+    def test_unknown_names_raise_with_suggestions(self):
+        with pytest.raises(KeyError, match="available:.*throttle-storm"):
+            get_profile("nope")
+        with pytest.raises(KeyError, match="available:.*expo-jitter"):
+            make_policy("nope")
+
+    def test_expected_registry_contents(self):
+        assert {"none", "throttle-storm", "failover", "flaky-500s",
+                "slow-network", "timeouts", "lossy-queue"} <= set(PROFILES)
+        assert {"fixed", "expo-jitter", "retry-budget"} <= set(POLICIES)
+
+
+class TestDeterminism:
+    def test_faulted_run_is_bit_identical_on_rerun(self):
+        """Acceptance: run the same faulted benchmark twice and diff —
+        every number, counter, and trace line must match."""
+        first = run_faulted_taskpool("throttle-storm", "fixed",
+                                     tasks=12, workers=3)
+        second = run_faulted_taskpool("throttle-storm", "fixed",
+                                      tasks=12, workers=3)
+        assert first == second
+        assert first["trace"]  # and the runs were actually faulted
+
+    def test_seed_changes_the_storm(self):
+        a = run_faulted_taskpool("throttle-storm", "fixed",
+                                 tasks=12, workers=3, seed=31)
+        b = run_faulted_taskpool("throttle-storm", "fixed",
+                                 tasks=12, workers=3, seed=32)
+        assert a["trace"] != b["trace"]
+
+
+class TestPaperFidelity:
+    def test_healthy_harness_matches_plain_paper_run(self):
+        """Acceptance: with no faults and the default fixed retry, the
+        chaos harness (empty plan, supervisor, split web/worker apps) is
+        time-identical to the paper's plain bag-of-tasks run."""
+        from repro.compute import Fabric
+        from repro.framework import TaskPoolApp, TaskPoolConfig
+        from repro.sim import SimStorageAccount
+        from repro.simkit import Environment
+
+        def plain_run(tasks=24, workers=4, work_s=0.5, seed=31):
+            env = Environment()
+            account = SimStorageAccount(env, seed=seed)
+
+            def handler(ctx, payload):
+                yield ctx.sleep(work_s)
+                return payload
+
+            app = TaskPoolApp(
+                TaskPoolConfig(name="chaos", visibility_timeout=60.0,
+                               idle_poll_interval=0.5), handler)
+            fabric = Fabric(env, account)
+            payloads = [f"t{i}".encode() for i in range(tasks)]
+            fabric.deploy(app.web_role_body(payloads, poll_interval=0.5),
+                          instances=1, name="web")
+            fabric.deploy(app.worker_role_body(), instances=workers,
+                          name="workers")
+            fabric.run_all()
+            return env.now, len(app.results)
+
+        harness = run_faulted_taskpool("none", "fixed")
+        plain_time, plain_results = plain_run()
+        assert harness["completion_time"] == plain_time
+        assert harness["results_collected"] == plain_results == 24
+        assert harness["retries"] == 0
+        assert harness["faults_injected"] == {}
+        assert harness["trace"] == []
+        assert harness["availability"] == {"queue": 1.0}
+
+
+class TestHarnessAccounting:
+    def test_throttle_storm_reports_retries_and_availability(self):
+        result = run_faulted_taskpool("throttle-storm", "fixed",
+                                      tasks=12, workers=3)
+        assert result["completed"]
+        assert result["retries"] > 0
+        assert result["retry_amplification"] > 1.0
+        assert 0.0 < result["availability"]["queue"] < 1.0
+        assert result["faults_injected"].get("throttle", 0) > 0
+        assert result["total_backoff"] > 0.0
+
+    def test_giveup_policy_recycles_workers(self):
+        # A retry budget that runs dry surfaces errors; contained crashes
+        # plus the supervisor plus queue redelivery still finish the job.
+        result = run_faulted_taskpool("throttle-storm", "retry-budget")
+        assert result["completed"]
+        assert result["giveups"] > 0
+        assert result["results_collected"] == result["tasks"]
+
+    def test_lossy_queue_duplicates_can_mask_losses(self):
+        result = run_faulted_taskpool("lossy-queue", "fixed")
+        injected = result["faults_injected"]
+        assert injected.get("message_loss", 0) > 0 or \
+            injected.get("duplicate_delivery", 0) > 0
+        # At-least-once semantics: the run may still complete because
+        # duplicate deliveries re-execute tasks whose puts were dropped.
+        assert result["results_collected"] <= result["tasks"] \
+            + injected.get("duplicate_delivery", 0)

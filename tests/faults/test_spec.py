@@ -1,0 +1,82 @@
+"""Tests for FaultSpec / FaultEvent validation and matching."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultSpec
+
+
+class TestValidation:
+    def test_kind_must_be_enum(self):
+        with pytest.raises(TypeError):
+            FaultSpec(kind="outage")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(duration=0.0),
+        dict(duration=-1.0),
+        dict(start=-0.5),
+        dict(probability=-0.1),
+        dict(probability=1.5),
+        dict(latency_factor=0.0),
+        dict(timeout_after=0.0),
+        dict(failover_delay=0.0),
+    ])
+    def test_bad_numbers_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.OUTAGE, **kwargs)
+
+    @pytest.mark.parametrize("kind", [
+        FaultKind.MESSAGE_LOSS, FaultKind.DUPLICATE_DELIVERY,
+    ])
+    def test_queue_only_kinds(self, kind):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=kind, service="blob")
+        # queue or wildcard is fine
+        FaultSpec(kind=kind, service="queue")
+        FaultSpec(kind=kind)
+
+    def test_frozen(self):
+        spec = FaultSpec(kind=FaultKind.THROTTLE)
+        with pytest.raises(AttributeError):
+            spec.start = 5.0
+
+
+class TestWindow:
+    def test_active_half_open_window(self):
+        spec = FaultSpec(kind=FaultKind.THROTTLE, start=2.0, duration=3.0)
+        assert not spec.active(1.999)
+        assert spec.active(2.0)
+        assert spec.active(4.999)
+        assert not spec.active(5.0)  # end-exclusive
+
+    def test_default_window_is_forever(self):
+        spec = FaultSpec(kind=FaultKind.LATENCY)
+        assert spec.active(0.0) and spec.active(1e12)
+
+    def test_crash_window_ends_at_failover(self):
+        spec = FaultSpec(kind=FaultKind.PARTITION_CRASH, start=4.0,
+                         duration=999.0, failover_delay=15.0)
+        assert spec.end == 19.0  # failover_delay governs, not duration
+
+
+class TestMatching:
+    def test_wildcards(self):
+        spec = FaultSpec(kind=FaultKind.THROTTLE)
+        assert spec.matches("queue", "q1")
+        assert spec.matches("blob", "container/x")
+
+    def test_service_scoped(self):
+        spec = FaultSpec(kind=FaultKind.THROTTLE, service="queue")
+        assert spec.matches("queue", "anything")
+        assert not spec.matches("table", "anything")
+
+    def test_partition_scoped(self):
+        spec = FaultSpec(kind=FaultKind.OUTAGE, service="queue",
+                         partition="q1")
+        assert spec.matches("queue", "q1")
+        assert not spec.matches("queue", "q2")
+
+
+class TestEvent:
+    def test_as_tuple_is_plain_and_diffable(self):
+        event = FaultEvent(1.5, FaultKind.TIMEOUT, "queue", "q1")
+        assert event.as_tuple() == (1.5, "timeout", "queue", "q1")

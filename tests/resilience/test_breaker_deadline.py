@@ -1,0 +1,91 @@
+"""Tests for CircuitBreaker and Deadline (repro.resilience)."""
+
+import pytest
+
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        br = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+        for t in range(2):
+            br.before_attempt(float(t))
+            br.record_failure(float(t))
+        assert br.state is BreakerState.CLOSED
+        br.record_failure(2.0)
+        assert br.state is BreakerState.OPEN
+        assert br.trips == 1
+
+    def test_open_rejects_without_a_round_trip(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        br.record_failure(0.0)
+        with pytest.raises(CircuitOpenError) as ei:
+            br.before_attempt(5.0)
+        assert ei.value.retry_at == 10.0
+        assert br.rejections == 1
+
+    def test_half_open_trial_success_closes(self):
+        br = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+        br.record_failure(0.0)
+        br.before_attempt(10.0)  # reset elapsed: trial admitted
+        assert br.state is BreakerState.HALF_OPEN
+        br.record_success(10.5)
+        assert br.state is BreakerState.CLOSED
+        br.before_attempt(11.0)  # and stays admitting
+
+    def test_half_open_trial_failure_reopens(self):
+        br = CircuitBreaker(failure_threshold=5, reset_timeout=10.0)
+        for _ in range(5):
+            br.record_failure(0.0)
+        br.before_attempt(10.0)
+        br.record_failure(10.0)  # one failure suffices in HALF_OPEN
+        assert br.state is BreakerState.OPEN
+        assert br.trips == 2
+        with pytest.raises(CircuitOpenError):
+            br.before_attempt(19.9)  # new window counted from the re-open
+
+    def test_success_resets_the_failure_streak(self):
+        br = CircuitBreaker(failure_threshold=2)
+        br.record_failure(0.0)
+        br.record_success(1.0)
+        br.record_failure(2.0)
+        assert br.state is BreakerState.CLOSED  # streak broken: not tripped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        d = Deadline.after(10.0, 5.0)
+        assert d.expires_at == 15.0
+        assert d.remaining(12.0) == 3.0
+        assert d.remaining(20.0) == 0.0  # never negative
+
+    def test_expired(self):
+        d = Deadline(15.0)
+        assert not d.expired(14.999)
+        assert d.expired(15.0)
+
+    def test_allows_sleep_requires_time_left_afterwards(self):
+        d = Deadline(15.0)
+        assert d.allows_sleep(10.0, 4.0)
+        assert not d.allows_sleep(10.0, 5.0)  # would wake exactly at expiry
+
+    def test_shared_object_propagates_budget(self):
+        # The propagation contract: nested layers consume the SAME clock.
+        d = Deadline.after(0.0, 10.0)
+        assert d.allows_sleep(0.0, 8.0)   # outer layer slept 8 s...
+        assert not d.allows_sleep(8.0, 5.0)  # ...inner layer has only 2 s
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0, -1.0)

@@ -1,0 +1,107 @@
+"""Tests for the retry-policy layer (repro.resilience.policy)."""
+
+import pytest
+
+from repro.resilience import (
+    ExponentialJitterBackoff,
+    FixedBackoff,
+    RetryBudget,
+    RetryStats,
+)
+from repro.storage import ServerBusyError
+
+
+BUSY = ServerBusyError("busy", retry_after=2.5)
+
+
+class TestRetryStats:
+    def test_defaults(self):
+        stats = RetryStats()
+        assert stats.logical_ops == 0
+        assert stats.amplification == 1.0  # no ops yet -> neutral
+
+    def test_amplification(self):
+        stats = RetryStats(attempts=30, retries=10)
+        assert stats.logical_ops == 20
+        assert stats.amplification == pytest.approx(1.5)
+
+
+class TestFixedBackoff:
+    def test_honours_retry_after_hint(self):
+        # The paper-faithful default: sleep exactly what the 503 says.
+        assert FixedBackoff().backoff(1, BUSY) == 2.5
+
+    def test_default_hint_when_error_has_none(self):
+        assert FixedBackoff().backoff(1, ValueError("x")) == 1.0
+
+    def test_explicit_delay_overrides_hint(self):
+        policy = FixedBackoff(0.25)
+        assert [policy.backoff(k, BUSY) for k in (1, 5, 50)] == [0.25] * 3
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            FixedBackoff(-1.0)
+
+
+class TestExponentialJitterBackoff:
+    def test_delays_bounded_by_growing_ceiling(self):
+        policy = ExponentialJitterBackoff(base=0.5, factor=2.0, cap=8.0,
+                                          seed=3)
+        for attempt in range(1, 12):
+            ceiling = min(8.0, 0.5 * 2.0 ** (attempt - 1))
+            delay = policy.backoff(attempt, BUSY)
+            assert 0.0 <= delay <= ceiling
+
+    def test_seeded_and_reproducible(self):
+        a = ExponentialJitterBackoff(seed=11)
+        b = ExponentialJitterBackoff(seed=11)
+        assert [a.backoff(k, BUSY) for k in range(1, 9)] == \
+            [b.backoff(k, BUSY) for k in range(1, 9)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialJitterBackoff(base=0.0)
+        with pytest.raises(ValueError):
+            ExponentialJitterBackoff(factor=0.5)
+        with pytest.raises(ValueError):
+            ExponentialJitterBackoff(base=2.0, cap=1.0)
+
+
+class TestRetryBudget:
+    def test_gives_up_when_exhausted(self):
+        policy = RetryBudget(capacity=2, refill_rate=0.0)
+        assert policy.backoff(1, BUSY, now=0.0) is not None
+        assert policy.backoff(2, BUSY, now=0.0) is not None
+        assert policy.backoff(3, BUSY, now=0.0) is None
+        assert policy.exhaustions == 1
+
+    def test_tokens_refill_over_sim_time(self):
+        policy = RetryBudget(capacity=1, refill_rate=0.5)
+        assert policy.backoff(1, BUSY, now=0.0) is not None
+        assert policy.backoff(2, BUSY, now=0.0) is None
+        # 2 simulated seconds x 0.5/s = 1 token back.
+        assert policy.backoff(3, BUSY, now=2.0) is not None
+
+    def test_inner_policy_supplies_the_delay(self):
+        policy = RetryBudget(capacity=5, refill_rate=0.0,
+                             inner=FixedBackoff(0.125))
+        assert policy.backoff(1, BUSY, now=0.0) == 0.125
+
+    def test_default_inner_is_paper_fixed(self):
+        assert RetryBudget().backoff(1, BUSY, now=0.0) == 2.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0)
+        with pytest.raises(ValueError):
+            RetryBudget(refill_rate=-1.0)
+
+
+class TestStatsIdentity:
+    def test_each_policy_carries_its_own_stats(self):
+        a, b = FixedBackoff(), FixedBackoff()
+        a.stats.attempts += 1
+        assert b.stats.attempts == 0
+        assert a.stats.policy == "fixed"
+        assert ExponentialJitterBackoff().stats.policy == "expo-jitter"
+        assert RetryBudget().stats.policy == "retry-budget"

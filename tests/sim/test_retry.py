@@ -1,0 +1,250 @@
+"""Tests for the retry loop (repro.sim.retry) and its policy hooks."""
+
+import pytest
+
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    ExponentialJitterBackoff,
+    FixedBackoff,
+    RetryBudget,
+)
+from repro.sim import SimStorageAccount, retrying
+from repro.simkit import Environment
+from repro.storage import ServerBusyError, TransientServerError
+
+
+def flaky_op(env, failures, *, exc=None):
+    """An op generator factory that fails ``failures`` times, then succeeds."""
+    state = {"left": failures}
+
+    def op():
+        yield env.timeout(0.1)
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc or ServerBusyError("busy", retry_after=1.0)
+        return "done"
+
+    return op
+
+
+def drive(env, gen):
+    p = env.process(gen)
+    env.run()
+    return p
+
+
+class TestDefaults:
+    def test_paper_default_sleeps_retry_after(self):
+        env = Environment()
+        p = drive(env, retrying(env, flaky_op(env, 3)))
+        assert p.value == "done"
+        # 4 attempts x 0.1 s op time + 3 x 1.0 s retry_after sleeps.
+        assert env.now == pytest.approx(3.4)
+
+    def test_transient_500s_are_retryable(self):
+        env = Environment()
+        exc = TransientServerError("flaky", retry_after=0.5)
+        p = drive(env, retrying(env, flaky_op(env, 2, exc=exc)))
+        assert p.value == "done"
+        assert env.now == pytest.approx(1.3)
+
+    def test_non_retryable_errors_pass_through(self):
+        env = Environment()
+
+        def op():
+            yield env.timeout(0.1)
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            drive(env, retrying(env, op)).value
+
+
+class TestMaxRetriesAndOnRetry:
+    def test_max_retries_bounds_attempts(self):
+        env = Environment()
+        calls = []
+
+        def op():
+            yield env.timeout(0.1)
+            calls.append(env.now)
+            raise ServerBusyError("busy", retry_after=1.0)
+
+        with pytest.raises(ServerBusyError):
+            drive(env, retrying(env, op, max_retries=2)).value
+        assert len(calls) == 3  # first try + 2 retries
+
+    def test_on_retry_sees_consistent_attempt_numbers(self):
+        """Satellite: ``attempt`` passed to on_retry counts retryable
+        failures so far, starting at 1, regardless of policy."""
+        for policy in (None, FixedBackoff(0.1),
+                       ExponentialJitterBackoff(seed=2)):
+            env = Environment()
+            seen = []
+            drive(env, retrying(env, flaky_op(env, 4),
+                                on_retry=lambda a, e: seen.append(
+                                    (a, type(e).__name__)),
+                                policy=policy))
+            assert [a for a, _ in seen] == [1, 2, 3, 4]
+            assert {n for _, n in seen} == {"ServerBusyError"}
+
+    def test_on_retry_not_called_on_success_or_giveup(self):
+        env = Environment()
+        seen = []
+        with pytest.raises(ServerBusyError):
+            drive(env, retrying(env, flaky_op(env, 5), max_retries=2,
+                                on_retry=lambda a, e: seen.append(a))).value
+        assert seen == [1, 2]  # the give-up (attempt 3) never slept
+
+
+class TestPolicies:
+    def test_policy_supplies_the_backoff_schedule(self):
+        env = Environment()
+        drive(env, retrying(env, flaky_op(env, 3),
+                            policy=FixedBackoff(0.25)))
+        assert env.now == pytest.approx(0.4 + 3 * 0.25)
+
+    def test_policy_stats_accumulate(self):
+        env = Environment()
+        policy = FixedBackoff(0.25)
+        drive(env, retrying(env, flaky_op(env, 3), policy=policy))
+        drive(env, retrying(env, flaky_op(env, 0), policy=policy))
+        assert policy.stats.attempts == 5
+        assert policy.stats.retries == 3
+        assert policy.stats.successes == 2
+        assert policy.stats.giveups == 0
+        assert policy.stats.total_backoff == pytest.approx(0.75)
+
+    def test_budget_exhaustion_reraises(self):
+        env = Environment()
+        policy = RetryBudget(capacity=2, refill_rate=0.0)
+        with pytest.raises(ServerBusyError):
+            drive(env, retrying(env, flaky_op(env, 10),
+                                policy=policy)).value
+        assert policy.stats.giveups == 1
+        assert policy.exhaustions == 1
+
+
+class TestDeadline:
+    def test_float_deadline_stops_a_permanent_outage(self):
+        """Satellite: a permanently-failing op cannot spin forever when a
+        deadline is set — the error surfaces once the budget is gone."""
+        env = Environment()
+
+        def always_busy():
+            yield env.timeout(0.1)
+            raise ServerBusyError("down hard", retry_after=1.0)
+
+        with pytest.raises(ServerBusyError):
+            drive(env, retrying(env, always_busy, deadline=5.0)).value
+        assert env.now < 6.0  # gave up within the budget (plus one op)
+
+    def test_deadline_object_is_absolute(self):
+        env = Environment()
+
+        def body():
+            yield env.timeout(3.0)  # deadline partially consumed already
+            result = yield from retrying(
+                env, flaky_op(env, 50), deadline=Deadline(4.0))
+            return result
+
+        with pytest.raises(ServerBusyError):
+            drive(env, body()).value
+        assert env.now < 5.0
+
+    def test_shared_deadline_propagates_across_calls(self):
+        env = Environment()
+        deadline = Deadline.after(0.0, 6.0)
+
+        def body():
+            # First call eats most of the budget...
+            try:
+                yield from retrying(env, flaky_op(env, 50),
+                                    deadline=deadline)
+            except ServerBusyError:
+                pass
+            first_gave_up = env.now
+            # ...so the second call under the SAME deadline dies fast.
+            try:
+                yield from retrying(env, flaky_op(env, 50),
+                                    deadline=deadline)
+            except ServerBusyError:
+                return first_gave_up, env.now
+
+        p = drive(env, body())
+        first, second = p.value
+        assert second - first < first  # far less budget the second time
+
+    def test_generous_deadline_does_not_change_success(self):
+        env = Environment()
+        p = drive(env, retrying(env, flaky_op(env, 2), deadline=100.0))
+        assert p.value == "done"
+        assert env.now == pytest.approx(2.3)
+
+
+class TestBreaker:
+    def test_breaker_fails_fast_while_open(self):
+        env = Environment()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=30.0)
+
+        def body():
+            # The threshold is reached mid-loop, so the loop itself is cut
+            # short by the breaker before its max_retries are spent.
+            try:
+                yield from retrying(env, flaky_op(env, 10), max_retries=2,
+                                    breaker=breaker)
+            except CircuitOpenError:
+                pass
+            # Subsequent calls are rejected locally, without touching the
+            # fabric (or sleeping).
+            before = env.now
+            try:
+                yield from retrying(env, flaky_op(env, 0), breaker=breaker)
+            except CircuitOpenError:
+                assert env.now == before
+                return "rejected"
+
+        assert drive(env, body()).value == "rejected"
+        assert breaker.trips == 1
+        assert breaker.rejections == 2
+
+    def test_breaker_recloses_after_reset(self):
+        env = Environment()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0)
+
+        def body():
+            try:
+                yield from retrying(env, flaky_op(env, 10), max_retries=0,
+                                    breaker=breaker)
+            except ServerBusyError:
+                pass
+            yield env.timeout(5.0)  # reset window elapses
+            result = yield from retrying(env, flaky_op(env, 0),
+                                         breaker=breaker)
+            return result
+
+        assert drive(env, body()).value == "done"
+        from repro.resilience import BreakerState
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestAgainstRealFabric:
+    def test_policy_rides_through_injected_outage(self):
+        from repro.cluster import Service
+        env = Environment()
+        account = SimStorageAccount(env, seed=1)
+        account.cluster.inject_outage(Service.QUEUE, start=0.5, duration=4.0)
+        qc = account.queue_client()
+        policy = ExponentialJitterBackoff(seed=4)
+
+        def body():
+            yield from qc.create_queue("vital")
+            yield env.timeout(1.0)
+            yield from retrying(env, lambda: qc.put_message("vital", b"x"),
+                                policy=policy)
+            return env.now
+
+        p = drive(env, body())
+        assert p.value >= 4.5  # landed only after the outage lifted
+        assert policy.stats.retries > 0

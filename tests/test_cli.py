@@ -118,6 +118,44 @@ class TestAudit:
         assert "blob_max_upload_mbps" in out
 
 
+class TestFaults:
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "throttle-storm" in out and "failover" in out
+        assert "expo-jitter" in out  # policies advertised too
+
+    def test_faults_run(self, capsys):
+        assert main(["faults", "run", "failover", "--tasks", "8",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "profile           failover" in out
+        assert "retry policy      fixed" in out
+        assert "completed         True (8/8 results)" in out
+        assert "partition_crash=" in out
+        assert "availability      queue:" in out
+
+    def test_faults_run_with_trace(self, capsys):
+        assert main(["faults", "run", "failover", "--tasks", "8",
+                     "--workers", "2", "--policy", "expo-jitter",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "retry policy      expo-jitter" in out
+        assert "fault trace" in out and "partition_crash" in out
+
+    def test_faults_run_unknown_profile(self, capsys):
+        assert main(["faults", "run", "nope"]) == 2
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_faults_run_unknown_policy(self, capsys):
+        assert main(["faults", "run", "failover", "--policy", "nope"]) == 2
+        assert "unknown retry policy" in capsys.readouterr().err
+
+    def test_faults_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
+
 class TestAllFigureCommands:
     @pytest.fixture
     def tiny_cli(self, monkeypatch):
