@@ -9,7 +9,7 @@ network): Blob (block + page), Queue (visibility timeouts), and Table
 """
 
 from repro.emulator import EmulatorAccount
-from repro.storage import KB, MB, ETagMismatchError, ManualClock
+from repro.storage import MB, ETagMismatchError, ManualClock
 
 
 def blob_tour(account):

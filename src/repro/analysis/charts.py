@@ -9,7 +9,7 @@ eyeball the paper's shapes in a terminal or a text log. ::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 __all__ = ["ascii_chart", "sparkline"]
 

@@ -1,0 +1,259 @@
+"""Backend selection: run one benchmark body on the DES fabric or the emulator.
+
+Role bodies are written once, in simkit style (``yield from client.op(...)``,
+``yield env.timeout(...)``).  A :class:`Backend` decides what that means:
+
+* :class:`SimBackend` — the default: bodies run as discrete-event processes
+  over :class:`~repro.sim.clients.SimStorageAccount`, timing comes from the
+  cluster cost model, and runs are bit-reproducible under a seed.
+* :class:`EmulatorBackend` — bodies run in real threads over an
+  :class:`~repro.emulator.clients.EmulatorAccount`.  Client calls are bound
+  to never-yielding generator shims (so ``yield from`` returns the blocking
+  result immediately) and a per-thread trampoline turns ``env.timeout``
+  yields into scaled wall-clock sleeps.  Timing is wall-clock and therefore
+  not reproducible — this backend exists to exercise the benchmark bodies
+  against the concurrent emulator, not to regenerate the paper's numbers.
+
+Both go through the same operation pipeline (:mod:`repro.pipeline`), so
+fault plans, throttles, and Storage Analytics behave identically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List
+
+from .compute import Deployment
+from .compute.roles import RoleContext
+from .core.metrics import BenchResult, PhaseRecorder
+from .emulator import EmulatorAccount
+from .emulator.clients import _EmulatorClientBase
+from .pipeline import derive_client_class, locked_local_method, shim_method
+from .sim import SimStorageAccount
+from .simkit import Environment
+
+__all__ = ["Backend", "SimBackend", "EmulatorBackend", "BACKENDS",
+           "get_backend"]
+
+
+def _collect(config, recorders) -> BenchResult:
+    """Validate worker return values and wrap them up."""
+    bad = [r for r in recorders if not isinstance(r, PhaseRecorder)]
+    if bad:
+        raise RuntimeError(
+            f"{len(bad)} worker(s) did not return a PhaseRecorder "
+            f"(first: {bad[0]!r}); check the role body for failures"
+        )
+    return BenchResult(config.workers, recorders, label=config.label)
+
+
+class Backend:
+    """What a benchmark backend must provide (structural protocol)."""
+
+    #: CLI name: ``"sim"`` or ``"emulator"``.
+    name: str
+
+    def run(self, body_factory: Callable[[], Callable],
+            config) -> BenchResult:  # pragma: no cover - protocol
+        """Run ``config.workers`` instances of the body to completion.
+
+        ``body_factory`` builds a fresh role body (bodies close over
+        benchmark configs); each instance must return its
+        :class:`~repro.core.metrics.PhaseRecorder`.  ``config`` is a
+        :class:`~repro.core.runner.RunConfig`.
+        """
+        raise NotImplementedError
+
+
+class SimBackend(Backend):
+    """Discrete-event backend: the paper-faithful, seeded default."""
+
+    name = "sim"
+
+    def run(self, body_factory, config) -> BenchResult:
+        env = Environment()
+        account = SimStorageAccount(
+            env, limits=config.limits, calibration=config.calibration,
+            seed=config.seed, fifo_jitter_seed=config.fifo_jitter_seed,
+        )
+        deployment = Deployment(
+            env, account, body_factory(),
+            instances=config.workers, vm_size=config.vm_size,
+            name="azurebench",
+        )
+        return _collect(config, deployment.run())
+
+
+# -- emulator backend --------------------------------------------------------
+
+class _EmulatorTimeout:
+    """Sleep marker yielded by :meth:`EmulatorEnv.timeout`."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+
+class EmulatorEnv:
+    """The slice of the simkit ``Environment`` surface role bodies use.
+
+    ``now`` reads the account's clock in *virtual* seconds (wall seconds
+    divided by ``time_scale``); ``timeout`` returns a marker the worker
+    trampoline turns into a scaled ``time.sleep``.  One virtual second
+    therefore costs ``time_scale`` wall seconds everywhere.
+    """
+
+    def __init__(self, account: EmulatorAccount, time_scale: float) -> None:
+        self._account = account
+        self.time_scale = time_scale
+
+    @property
+    def now(self) -> float:
+        return self._account.state.clock.now() / self.time_scale
+
+    def timeout(self, delay: float = 0.0) -> _EmulatorTimeout:
+        return _EmulatorTimeout(delay)
+
+
+_SHIM_DOC = "Emulator client whose methods are never-yielding generators."
+
+_ShimBlobClient = derive_client_class(
+    "_ShimBlobClient", "blob", _EmulatorClientBase,
+    method_factory=shim_method, local_factory=locked_local_method,
+    doc=_SHIM_DOC)
+_ShimQueueClient = derive_client_class(
+    "_ShimQueueClient", "queue", _EmulatorClientBase,
+    method_factory=shim_method, local_factory=locked_local_method,
+    doc=_SHIM_DOC)
+_ShimTableClient = derive_client_class(
+    "_ShimTableClient", "table", _EmulatorClientBase,
+    method_factory=shim_method, local_factory=locked_local_method,
+    doc=_SHIM_DOC)
+_ShimCacheClient = derive_client_class(
+    "_ShimCacheClient", "cache", _EmulatorClientBase,
+    method_factory=shim_method, local_factory=locked_local_method,
+    doc=_SHIM_DOC)
+
+
+class ShimAccount:
+    """An emulator account dressed up as a :class:`SimStorageAccount`.
+
+    Its clients are generator shims, so sim-style bodies (``yield from
+    client.op(...)``) drive the thread-safe emulator unchanged.
+    """
+
+    _CLIENTS = {
+        "blob_client": _ShimBlobClient,
+        "queue_client": _ShimQueueClient,
+        "table_client": _ShimTableClient,
+        "cache_client": _ShimCacheClient,
+    }
+
+    def __init__(self, account: EmulatorAccount, env: EmulatorEnv) -> None:
+        self.emulator = account
+        self.env = env
+        self.state = account.state
+        self.cache_state = account.cache_state
+        self.pipeline = account.pipeline
+
+    def _make(self, kind: str):
+        client = self._CLIENTS[kind](self.emulator)
+        client.env = self.env  # QueueBarrier's fallback clock source
+        return client
+
+    def blob_client(self):
+        return self._make("blob_client")
+
+    def queue_client(self):
+        return self._make("queue_client")
+
+    def table_client(self):
+        return self._make("table_client")
+
+    def cache_client(self):
+        return self._make("cache_client")
+
+
+def _trampoline(gen, env: EmulatorEnv):
+    """Drive one role body to completion on the current thread."""
+    try:
+        value = next(gen)
+        while True:
+            if not isinstance(value, _EmulatorTimeout):
+                raise TypeError(
+                    f"emulator backend cannot wait on {value!r}; role "
+                    f"bodies may only yield env.timeout(...) sleeps and "
+                    f"client calls")
+            if value.seconds > 0:
+                time.sleep(value.seconds * env.time_scale)
+            value = gen.send(None)
+    except StopIteration as stop:
+        return stop.value
+
+
+class EmulatorBackend(Backend):
+    """Threaded backend over the in-process emulator.
+
+    ``time_scale`` compresses virtual time: the bodies' one-second barrier
+    polls and think times sleep ``time_scale`` wall seconds each.  The
+    cost model does not exist here, so ``config.seed`` and
+    ``config.calibration`` are ignored; measured throughputs reflect the
+    host machine, not the 2012 fabric.
+    """
+
+    name = "emulator"
+
+    def __init__(self, time_scale: float = 0.01) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        self.time_scale = time_scale
+
+    def run(self, body_factory, config) -> BenchResult:
+        account = EmulatorAccount(
+            limits=config.limits, fifo_jitter_seed=config.fifo_jitter_seed,
+        )
+        env = EmulatorEnv(account, self.time_scale)
+        shim = ShimAccount(account, env)
+        body = body_factory()
+        results: List[object] = [None] * config.workers
+        failures: List[BaseException] = []
+
+        def work(role_id: int) -> None:
+            ctx = RoleContext(
+                env, role_id=role_id, instance_count=config.workers,
+                account=shim, vm_size=config.vm_size, role_name="azurebench",
+            )
+            try:
+                results[role_id] = _trampoline(body(ctx), env)
+            except BaseException as exc:  # surfaced after join
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,),
+                             name=f"azurebench#{i}", daemon=True)
+            for i in range(config.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        return _collect(config, results)
+
+
+BACKENDS = {"sim": SimBackend, "emulator": EmulatorBackend}
+
+
+def get_backend(backend) -> Backend:
+    """Resolve a backend instance from a name or pass one through."""
+    if isinstance(backend, Backend):
+        return backend
+    try:
+        return BACKENDS[backend]()
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from "
+            f"{sorted(BACKENDS)}") from None

@@ -21,7 +21,6 @@ from ..core import (
     PHASE_BLOCK_FULL_DOWNLOAD,
     PHASE_BLOCK_SEQ_DOWNLOAD,
     PHASE_BLOCK_UPLOAD,
-    PHASE_PAGE_FULL_DOWNLOAD,
     PHASE_PAGE_RANDOM_DOWNLOAD,
     PHASE_PAGE_UPLOAD,
     phase_name,

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..compute import TABLE_I
 from ..core import (
@@ -136,8 +136,12 @@ def figure_table1() -> FigureData:
 class FigureRunner:
     """Runs and caches the sweeps behind Figures 4-9."""
 
-    def __init__(self, scale: Optional[BenchScale] = None) -> None:
+    def __init__(self, scale: Optional[BenchScale] = None, *,
+                 backend: object = "sim") -> None:
         self.scale = scale if scale is not None else active_scale()
+        #: Which backend runs the sweeps: "sim" (default, seeded DES) or
+        #: "emulator" (threaded, wall-clock); see :mod:`repro.backend`.
+        self.backend = backend
         self._blob: Optional[Dict[int, BenchResult]] = None
         self._queue_sep: Optional[Dict[int, BenchResult]] = None
         self._queue_shared: Optional[Dict[int, BenchResult]] = None
@@ -153,7 +157,8 @@ class FigureRunner:
             )
             self._blob = sweep_workers(
                 lambda: blob_bench_body(cfg), self.scale.worker_counts,
-                RunConfig(seed=self.scale.seed, label="fig4/5"),
+                RunConfig(seed=self.scale.seed, label="fig4/5",
+                          backend=self.backend),
             )
         return self._blob
 
@@ -167,7 +172,8 @@ class FigureRunner:
             self._queue_sep = sweep_workers(
                 lambda: separate_queue_bench_body(cfg),
                 self.scale.worker_counts,
-                RunConfig(seed=self.scale.seed, label="fig6"),
+                RunConfig(seed=self.scale.seed, label="fig6",
+                          backend=self.backend),
             )
         return self._queue_sep
 
@@ -181,7 +187,8 @@ class FigureRunner:
             self._queue_shared = sweep_workers(
                 lambda: shared_queue_bench_body(cfg),
                 self.scale.worker_counts,
-                RunConfig(seed=self.scale.seed, label="fig7"),
+                RunConfig(seed=self.scale.seed, label="fig7",
+                          backend=self.backend),
             )
         return self._queue_shared
 
@@ -194,7 +201,8 @@ class FigureRunner:
             )
             self._table = sweep_workers(
                 lambda: table_bench_body(cfg), self.scale.worker_counts,
-                RunConfig(seed=self.scale.seed, label="fig8"),
+                RunConfig(seed=self.scale.seed, label="fig8",
+                          backend=self.backend),
             )
         return self._table
 

@@ -17,6 +17,7 @@ import os
 import sys
 from typing import List, Optional
 
+from .backend import BACKENDS
 from .bench import (
     FigureRunner,
     PAPER_SCALE,
@@ -56,10 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="paper scale (default: quick scale)")
     fig.add_argument("--csv", metavar="DIR",
                      help="also write <DIR>/<figure>.csv files")
+    fig.add_argument("--backend", choices=sorted(BACKENDS), default="sim",
+                     help="run the sweeps on the seeded DES fabric (sim, "
+                          "default) or on the threaded emulator")
 
     all_cmd = sub.add_parser("all", help="regenerate every table and figure")
     all_cmd.add_argument("--full", action="store_true")
     all_cmd.add_argument("--csv", metavar="DIR")
+    all_cmd.add_argument("--backend", choices=sorted(BACKENDS),
+                         default="sim")
 
     report = sub.add_parser(
         "report", help="full reproduction report (figures + audit + analysis)")
@@ -176,7 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     scale = PAPER_SCALE if getattr(args, "full", False) else QUICK_SCALE
-    runner = FigureRunner(scale)
+    runner = FigureRunner(scale, backend=getattr(args, "backend", "sim"))
     csv_dir = getattr(args, "csv", None)
 
     if args.command == "fig":

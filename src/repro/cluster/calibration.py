@@ -86,6 +86,12 @@ class FabricCalibration:
     #: Per-byte transfer for reads (peek/get) and writes (put).
     queue_read_s_per_byte: float = 1.0 / (20 * MB)
     queue_write_s_per_byte: float = 1.0 / (10 * MB)
+    #: GetMsgCount service time.  The approximate count is a cached
+    #: per-queue counter on the partition server (no message payload is
+    #: touched), so it is cheaper than any replicated queue op; 2 ms keeps
+    #: Algorithm 2's barrier polling visible but negligible next to the
+    #: 18/25 ms put/get sync costs above.
+    queue_msg_count_s: float = 0.002
     #: The paper's unexplained 16 KB anomaly: "the Get operation for this
     #: sized messages took significantly more time than other message sizes
     #: (both smaller and larger ones) ... consistently seen in all repeated

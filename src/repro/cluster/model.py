@@ -6,9 +6,10 @@
   front-end RTT plus partition-server occupancy (constants from
   :mod:`repro.cluster.calibration`),
 * **partition-server pools** per service (placement rules from the paper),
-* **throttles** for the published per-second scalability targets, raising
-  :class:`~repro.storage.errors.ServerBusyError` exactly where the real
-  service would.
+* a per-account :class:`~repro.pipeline.interceptors.Pipeline` carrying the
+  cross-cutting stages — fault injection and the published per-second
+  throttle targets by default, Storage Analytics and custom interceptors on
+  demand — shared stage-for-stage with the emulator backend.
 
 Simulated clients (:mod:`repro.sim`) call :meth:`StorageCluster.execute`
 from inside a simkit process to charge the timing of each data-plane call.
@@ -22,12 +23,16 @@ import numpy as np
 
 from ..faults.plan import FaultPlan
 from ..faults.spec import FaultKind, FaultSpec
+from ..pipeline.context import OpContext
+from ..pipeline.interceptors import (
+    FaultInterceptor,
+    Pipeline,
+    ThrottleInterceptor,
+)
 from ..simkit import Environment, Tally
-from ..storage.errors import ServerBusyError
 from ..storage.limits import LIMITS_2012, ServiceLimits
 from .calibration import DEFAULT_CALIBRATION, FabricCalibration
 from .ops import OpDescriptor, OpKind, Service
-from .ratelimit import SlidingWindowThrottle
 from .servers import PartitionServer, ServerPool
 
 __all__ = ["StorageCluster"]
@@ -56,29 +61,29 @@ class StorageCluster:
         )
         self.cache_servers = ServerPool(env, "cache", cal.cache_server_slots)
 
-        # Account-wide targets (paper Section IV).
-        self.account_tx_throttle = SlidingWindowThrottle(
-            limits.account_transactions_per_second,
-            cal.throttle_window_s,
-            name="account transactions",
-            retry_after=cal.throttle_retry_after_s,
-        )
-        self.account_bw_throttle = SlidingWindowThrottle(
-            limits.account_bandwidth_bytes_per_second,
-            cal.throttle_window_s,
-            name="account bandwidth",
-            retry_after=cal.throttle_retry_after_s,
-        )
-        # Per-queue and per-table-partition targets, created lazily.
-        self._queue_throttles: Dict[str, SlidingWindowThrottle] = {}
-        self._partition_throttles: Dict[str, SlidingWindowThrottle] = {}
-
         #: Per-kind observed service-time tallies (diagnostics / tests).
         self.op_times: Dict[OpKind, Tally] = {}
         self.server_busy_count = 0
         #: The active fault schedule (:mod:`repro.faults`), or None for a
         #: healthy fabric.  Consulted on every :meth:`execute`.
         self.fault_plan: Optional[FaultPlan] = None
+
+        # The cross-cutting stack every operation crosses before timing is
+        # charged: fault plan, then the published throttle targets (paper
+        # Section IV).  Observers (analytics, auth) insert themselves via
+        # ``pipeline.add``.
+        self._fault_stage = FaultInterceptor(
+            lambda: self.fault_plan, cluster=self, on_busy=self._note_busy)
+        self._throttle_stage = ThrottleInterceptor(
+            limits,
+            window_s=cal.throttle_window_s,
+            retry_after_s=cal.throttle_retry_after_s,
+            on_busy=self._note_busy,
+        )
+        self.pipeline = Pipeline([self._fault_stage, self._throttle_stage])
+
+    def _note_busy(self) -> None:
+        self.server_busy_count += 1
 
     # -- fault injection ---------------------------------------------------
     def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
@@ -117,57 +122,29 @@ class StorageCluster:
         return self.table_servers
 
     # -- throttles ----------------------------------------------------------
-    def _queue_throttle(self, partition: str) -> SlidingWindowThrottle:
-        throttle = self._queue_throttles.get(partition)
-        if throttle is None:
-            throttle = SlidingWindowThrottle(
-                self.limits.queue_messages_per_second,
-                self.cal.throttle_window_s,
-                name=f"queue {partition!r} messages",
-                retry_after=self.cal.throttle_retry_after_s,
-            )
-            self._queue_throttles[partition] = throttle
-        return throttle
+    # The throttle windows live on the pipeline's ThrottleInterceptor; these
+    # views keep the cluster's historical surface for tests and diagnostics.
+    @property
+    def account_tx_throttle(self):
+        return self._throttle_stage.account_tx
 
-    def _partition_throttle(self, partition: str) -> SlidingWindowThrottle:
-        throttle = self._partition_throttles.get(partition)
-        if throttle is None:
-            throttle = SlidingWindowThrottle(
-                self.limits.partition_entities_per_second,
-                self.cal.throttle_window_s,
-                name=f"table partition {partition!r} entities",
-                retry_after=self.cal.throttle_retry_after_s,
-            )
-            self._partition_throttles[partition] = throttle
-        return throttle
+    @property
+    def account_bw_throttle(self):
+        return self._throttle_stage.account_bw
 
-    def _charge_throttles(self, op: OpDescriptor) -> None:
-        """Charge all applicable targets; raises ServerBusyError when over."""
-        now = self.env.now
-        if op.service is Service.CACHE:
-            # The caching service is billed and scaled separately from the
-            # storage account; its ops do not count against the 5,000 tx/s
-            # or 3 GB/s storage targets.
-            return
-        try:
-            self.account_tx_throttle.charge(now, op.units)
-            if op.nbytes:
-                self.account_bw_throttle.charge(now, op.nbytes)
-            if op.service is Service.QUEUE and op.kind in (
-                OpKind.PUT_MESSAGE, OpKind.GET_MESSAGE,
-                OpKind.PEEK_MESSAGE, OpKind.DELETE_MESSAGE,
-                OpKind.UPDATE_MESSAGE,
-            ):
-                self._queue_throttle(op.partition).charge(now, op.units)
-            elif op.service is Service.TABLE and op.kind in (
-                OpKind.INSERT_ENTITY, OpKind.QUERY_ENTITY,
-                OpKind.UPDATE_ENTITY, OpKind.MERGE_ENTITY,
-                OpKind.DELETE_ENTITY, OpKind.BATCH,
-            ):
-                self._partition_throttle(op.partition).charge(now, op.units)
-        except Exception:
-            self.server_busy_count += 1
-            raise
+    @property
+    def _queue_throttles(self):
+        return self._throttle_stage.queue_throttles
+
+    @property
+    def _partition_throttles(self):
+        return self._throttle_stage.partition_throttles
+
+    def _queue_throttle(self, partition: str):
+        return self._throttle_stage.queue_throttle(partition)
+
+    def _partition_throttle(self, partition: str):
+        return self._throttle_stage.partition_throttle(partition)
 
     # -- cost model -------------------------------------------------------
     def base_rtt(self, op: OpDescriptor) -> float:
@@ -221,7 +198,7 @@ class StorageCluster:
             if kind is OpKind.UPDATE_MESSAGE:
                 return cal.queue_put_sync_s + n * cal.queue_write_s_per_byte
             if kind is OpKind.GET_MESSAGE_COUNT:
-                return 0.002
+                return cal.queue_msg_count_s
             # create/delete queue: metadata-only.
             return cal.queue_put_sync_s
 
@@ -263,39 +240,53 @@ class StorageCluster:
     def execute(self, op: OpDescriptor) -> Iterator:
         """Simkit process generator charging the timing of one operation.
 
-        Raises :class:`ServerBusyError` *before* consuming time if a
-        scalability target is exceeded (or an injected outage/throttle
-        fault fires); the caller is expected to back off and retry, like
-        the paper's worker roles.  Injected timeout faults burn their
-        ``timeout_after`` first, injected latency windows stretch the
-        round trip.
+        The operation crosses the account's interceptor pipeline first
+        (fault plan, throttle targets, any installed observers), then the
+        cost model: raises :class:`ServerBusyError` *before* consuming
+        time if a scalability target is exceeded (or an injected
+        outage/throttle fault fires); the caller is expected to back off
+        and retry, like the paper's worker roles.  Injected timeout faults
+        burn their ``timeout_after`` first, injected latency windows
+        stretch the round trip.
         """
-        fault_factor, timeout_spec = 1.0, None
-        if self.fault_plan is not None:
-            try:
-                fault_factor, timeout_spec = self.fault_plan.pre_execute(
-                    op, self.env.now, self)
-            except ServerBusyError:
-                self.server_busy_count += 1
-                raise
-        self._charge_throttles(op)
-        if timeout_spec is not None:
+        ctx = OpContext(op=op, backend="sim", started_at=self.env.now)
+        try:
+            self.pipeline.run_before(ctx)
+        except Exception as exc:
+            ctx.finished_at = self.env.now
+            self.pipeline.run_failed(ctx, exc)
+            raise
+        if ctx.timeout_spec is not None:
             # The request is doomed: it consumes the timeout budget (and
             # nothing else — the server never completes the work).
-            yield self.env.timeout(timeout_spec.timeout_after)
-            raise self.fault_plan.record_timeout(timeout_spec, op, self.env.now)
-        rtt = self.base_rtt(op) * self._jitter() * fault_factor
-        occupancy = self.server_occupancy(op) * self._jitter() * fault_factor
-        server = self.server_for(op)
-        start = self.env.now
-        # Request leg of the round trip.
-        yield self.env.timeout(rtt / 2)
-        yield from server.serve(occupancy, op.nbytes)
-        # Response leg.
-        yield self.env.timeout(rtt / 2)
+            yield self.env.timeout(ctx.timeout_spec.timeout_after)
+            error = ctx.fault_plan.record_timeout(
+                ctx.timeout_spec, op, self.env.now)
+            ctx.finished_at = self.env.now
+            self.pipeline.run_failed(ctx, error)
+            raise error
+        try:
+            # Jitter draw order (rtt, then occupancy) is part of the seeded
+            # reproducibility contract — figures are bit-identical per seed.
+            ctx.server_latency = self.server_occupancy(op)
+            rtt = self.base_rtt(op) * self._jitter() * ctx.latency_factor
+            occupancy = ctx.server_latency * self._jitter() * ctx.latency_factor
+            server = self.server_for(op)
+            start = self.env.now
+            # Request leg of the round trip.
+            yield self.env.timeout(rtt / 2)
+            yield from server.serve(occupancy, op.nbytes)
+            # Response leg.
+            yield self.env.timeout(rtt / 2)
+        except Exception as exc:
+            ctx.finished_at = self.env.now
+            self.pipeline.run_failed(ctx, exc)
+            raise
         self.op_times.setdefault(op.kind, Tally(op.kind.value)).record(
             self.env.now - start
         )
+        ctx.finished_at = self.env.now
+        self.pipeline.run_after(ctx)
 
     # -- diagnostics ---------------------------------------------------------
     def mean_op_time(self, kind: OpKind) -> Optional[float]:

@@ -7,7 +7,7 @@ from/to Azure storage concurrently." (paper Section I)
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 from ..simkit import AllOf, Environment
 from .roles import RoleBody, RoleContext, RoleInstance, RoleStatus

@@ -16,7 +16,7 @@ import enum
 from typing import Any, Callable, Generator, Optional
 
 from ..simkit import Environment, Interrupt, Process
-from .vmsizes import SMALL, VMSize
+from .vmsizes import VMSize
 
 __all__ = ["RoleContext", "RoleInstance", "RoleStatus", "RoleBody"]
 

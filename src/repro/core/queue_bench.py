@@ -17,7 +17,7 @@ Two scenarios, exactly as Section IV.B describes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Tuple
 
 from ..compute.roles import RoleContext
 from ..framework import QueueBarrier

@@ -2,15 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Sequence
 
 from ..cluster.calibration import DEFAULT_CALIBRATION, FabricCalibration
-from ..compute import Deployment, SMALL, VMSize
-from ..sim import SimStorageAccount
-from ..simkit import Environment
+from ..compute import SMALL, VMSize
 from ..storage import LIMITS_2012, ServiceLimits
-from .metrics import BenchResult, PhaseRecorder
+from .metrics import BenchResult
 
 __all__ = ["RunConfig", "run_bench", "sweep_workers"]
 
@@ -27,6 +25,10 @@ class RunConfig:
     #: Enables the non-FIFO queue model (seeded); None keeps strict FIFO.
     fifo_jitter_seed: Optional[int] = None
     label: str = ""
+    #: Which backend runs the bodies: a name from
+    #: :data:`repro.backend.BACKENDS` ("sim" / "emulator") or a
+    #: :class:`repro.backend.Backend` instance.
+    backend: object = "sim"
 
 
 def run_bench(body_factory: Callable[[], Callable], config: RunConfig) -> BenchResult:
@@ -34,24 +36,13 @@ def run_bench(body_factory: Callable[[], Callable], config: RunConfig) -> BenchR
 
     ``body_factory`` builds a fresh role body (bodies close over benchmark
     configs); each instance must return its :class:`PhaseRecorder`.
+    Dispatches through :func:`repro.backend.get_backend` on
+    ``config.backend``.
     """
-    env = Environment()
-    account = SimStorageAccount(
-        env, limits=config.limits, calibration=config.calibration,
-        seed=config.seed, fifo_jitter_seed=config.fifo_jitter_seed,
-    )
-    deployment = Deployment(
-        env, account, body_factory(),
-        instances=config.workers, vm_size=config.vm_size, name="azurebench",
-    )
-    recorders = deployment.run()
-    bad = [r for r in recorders if not isinstance(r, PhaseRecorder)]
-    if bad:
-        raise RuntimeError(
-            f"{len(bad)} worker(s) did not return a PhaseRecorder "
-            f"(first: {bad[0]!r}); check the role body for failures"
-        )
-    return BenchResult(config.workers, recorders, label=config.label)
+    # Imported here: repro.backend itself imports this package (it returns
+    # BenchResults), so the dependency must resolve at call time.
+    from ..backend import get_backend
+    return get_backend(config.backend).run(body_factory, config)
 
 
 def sweep_workers(body_factory: Callable[[], Callable],
@@ -60,13 +51,8 @@ def sweep_workers(body_factory: Callable[[], Callable],
     """Run the same benchmark at several scales (the paper's x-axis)."""
     results: Dict[int, BenchResult] = {}
     for workers in worker_counts:
-        config = RunConfig(
-            workers=workers,
-            vm_size=base_config.vm_size,
-            limits=base_config.limits,
-            calibration=base_config.calibration,
-            seed=base_config.seed,
-            fifo_jitter_seed=base_config.fifo_jitter_seed,
+        config = replace(
+            base_config, workers=workers,
             label=f"{base_config.label}@{workers}",
         )
         results[workers] = run_bench(body_factory, config)

@@ -14,24 +14,41 @@ The client APIs mirror :mod:`repro.sim.clients` method-for-method, minus the
     queue.put_message("tasks", b"hello")
     msg = queue.get_message("tasks")
     queue.delete_message("tasks", msg.message_id, msg.pop_receipt)
+
+The method bodies are not written here: like the sim clients, every class
+below is derived from the shared operation registry
+(:mod:`repro.pipeline.registry`), bound to the account's
+:class:`~repro.pipeline.executors.BlockingExecutor`.  Because every call
+crosses the same interceptor pipeline, the emulator supports fault
+injection (:meth:`EmulatorAccount.set_fault_plan`), Storage Analytics
+(:func:`repro.storage.analytics.attach_analytics`), and — opt-in —
+enforcement of the published scalability targets, with zero sim-only code.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Mapping, Optional, Sequence
+from typing import Optional
 
+from ..pipeline import (
+    BlockingExecutor,
+    FaultInterceptor,
+    OpCall,
+    Pipeline,
+    ThrottleInterceptor,
+    blocking_method,
+    derive_client_class,
+    locked_local_method,
+)
 from ..storage import (
     Clock,
     LIMITS_2012,
     ServiceLimits,
     StorageAccountState,
     WallClock,
-    as_content,
 )
 from ..storage.cache import CacheServiceState
-from ..storage.table import BatchOperation
 
 __all__ = [
     "EmulatorAccount",
@@ -49,7 +66,8 @@ class EmulatorAccount:
                  limits: ServiceLimits = LIMITS_2012,
                  clock: Optional[Clock] = None,
                  latency: float = 0.0,
-                 fifo_jitter_seed: Optional[int] = None) -> None:
+                 fifo_jitter_seed: Optional[int] = None,
+                 enforce_targets: bool = False) -> None:
         self.state = StorageAccountState(
             name, clock if clock is not None else WallClock(), limits,
             fifo_jitter_seed=fifo_jitter_seed,
@@ -60,6 +78,38 @@ class EmulatorAccount:
         #: Artificial per-operation latency in seconds (0 disables); useful
         #: to make race conditions and contention observable in examples.
         self.latency = latency
+        self.limits = limits
+        #: Fault schedule consulted on every operation (None = no faults);
+        #: windows are evaluated against this account's clock.
+        self.fault_plan = None
+        #: ServerBusy rejections served (injected faults + throttles).
+        self.server_busy_count = 0
+        stages = [
+            FaultInterceptor(lambda: self.fault_plan, cluster=None,
+                             on_busy=self._note_busy),
+        ]
+        if enforce_targets:
+            # Opt-in: the framework's retry loop sleeps on real wall-clock
+            # seconds, so target enforcement is off unless asked for.
+            stages.append(ThrottleInterceptor(limits, on_busy=self._note_busy))
+        self.pipeline = Pipeline(stages)
+        self.executor = BlockingExecutor(self)
+        self._op_call = OpCall(
+            self.state, self.cache_state,
+            now_fn=self.state.clock.now,
+            plan_fn=lambda: self.fault_plan,
+        )
+
+    def set_fault_plan(self, plan) -> None:
+        """Install (or clear, with ``None``) a :class:`FaultPlan`.
+
+        Fault windows fire on this account's clock — wall-clock seconds by
+        default, or a :class:`~repro.storage.clock.ManualClock` in tests.
+        """
+        self.fault_plan = plan
+
+    def _note_busy(self) -> None:
+        self.server_busy_count += 1
 
     def _op(self):
         return self._lock
@@ -82,312 +132,35 @@ class EmulatorAccount:
 
 
 class _EmulatorClientBase:
+    """Plumbing every derived emulator client shares."""
+
     def __init__(self, account: EmulatorAccount) -> None:
         self.account = account
         self.state = account.state
+        self._executor = account.executor
+        self._call = account._op_call
 
 
-class EmulatorBlobClient(_EmulatorClientBase):
-    """Blocking blob client over the emulator."""
+EmulatorBlobClient = derive_client_class(
+    "EmulatorBlobClient", "blob", _EmulatorClientBase,
+    method_factory=blocking_method, local_factory=locked_local_method,
+    doc="Blocking blob client over the emulator (registry-derived).",
+)
 
-    def create_container(self, name: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.create_container(name)
+EmulatorQueueClient = derive_client_class(
+    "EmulatorQueueClient", "queue", _EmulatorClientBase,
+    method_factory=blocking_method, local_factory=locked_local_method,
+    doc="Blocking queue client over the emulator (registry-derived).",
+)
 
-    def delete_container(self, name: str) -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.blobs.delete_container(name)
+EmulatorTableClient = derive_client_class(
+    "EmulatorTableClient", "table", _EmulatorClientBase,
+    method_factory=blocking_method, local_factory=locked_local_method,
+    doc="Blocking table client over the emulator (registry-derived).",
+)
 
-    def put_block(self, container: str, blob: str, block_id: str, data) -> None:
-        content = as_content(data)
-        self.account._maybe_sleep()
-        with self.account._op():
-            c = self.state.blobs.get_container(container)
-            if blob not in c:
-                c.create_block_blob(blob)
-            c.get_block_blob(blob).put_block(block_id, content)
-
-    def put_block_list(self, container: str, blob: str,
-                       block_ids: Sequence[str], *, merge: bool = False) -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            c = self.state.blobs.get_container(container)
-            c.get_block_blob(blob).put_block_list(block_ids, merge=merge)
-
-    def upload_blob(self, container: str, blob: str, data) -> None:
-        content = as_content(data)
-        self.account._maybe_sleep()
-        with self.account._op():
-            c = self.state.blobs.get_container(container)
-            if blob not in c:
-                c.create_block_blob(blob)
-            c.get_block_blob(blob).upload(content)
-
-    def get_block(self, container: str, blob: str, index: int):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .get_block_blob(blob).get_block(index)
-
-    def download_block_blob(self, container: str, blob: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .get_block_blob(blob).download()
-
-    def block_count(self, container: str, blob: str) -> int:
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .get_block_blob(blob).block_count
-
-    def create_page_blob(self, container: str, blob: str, max_size: int):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .create_page_blob(blob, max_size)
-
-    def put_page(self, container: str, blob: str, offset: int, data) -> None:
-        content = as_content(data)
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.blobs.get_container(container) \
-                .get_page_blob(blob).put_pages(offset, content)
-
-    def get_page(self, container: str, blob: str, offset: int, length: int):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .get_page_blob(blob).read(offset, length)
-
-    def download_page_blob(self, container: str, blob: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .get_page_blob(blob).read_all()
-
-    def delete_blob(self, container: str, blob: str, *,
-                    lease_id=None, delete_snapshots: bool = False) -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.blobs.get_container(container).delete_blob(
-                blob, lease_id=lease_id, delete_snapshots=delete_snapshots)
-
-    def acquire_lease(self, container: str, blob: str) -> str:
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .get_blob(blob).acquire_lease()
-
-    def renew_lease(self, container: str, blob: str, lease_id: str) -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.blobs.get_container(container) \
-                .get_blob(blob).renew_lease(lease_id)
-
-    def release_lease(self, container: str, blob: str, lease_id: str) -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.blobs.get_container(container) \
-                .get_blob(blob).release_lease(lease_id)
-
-    def snapshot_blob(self, container: str, blob: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .get_blob(blob).snapshot()
-
-    def download_snapshot(self, container: str, blob: str, snapshot_id: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.blobs.get_container(container) \
-                .get_blob(blob).get_snapshot(snapshot_id).download()
-
-    def list_blobs(self, container: str, prefix: str = ""):
-        with self.account._op():
-            return self.state.blobs.get_container(container).list_blobs(prefix)
-
-
-class EmulatorQueueClient(_EmulatorClientBase):
-    """Blocking queue client over the emulator."""
-
-    def create_queue(self, name: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.queues.create_queue(name)
-
-    def delete_queue(self, name: str) -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.queues.delete_queue(name)
-
-    def put_message(self, queue: str, data, *, ttl: Optional[float] = None,
-                    visibility_delay: float = 0.0):
-        content = as_content(data)
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.queues.get_queue(queue).put_message(
-                content, ttl=ttl, visibility_delay=visibility_delay)
-
-    def get_message(self, queue: str, *,
-                    visibility_timeout: Optional[float] = None):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.queues.get_queue(queue).get_message(
-                visibility_timeout=visibility_timeout)
-
-    def get_messages(self, queue: str, n: int = 1, *,
-                     visibility_timeout: Optional[float] = None):
-        """Batch ``GetMessages``: up to 32 messages in one call."""
-        if not 1 <= n <= 32:
-            raise ValueError("n must be in 1..32 (2012 API limit)")
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.queues.get_queue(queue).get_messages(
-                n, visibility_timeout=visibility_timeout)
-
-    def peek_message(self, queue: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.queues.get_queue(queue).peek_message()
-
-    def delete_message(self, queue: str, message_id: str,
-                       pop_receipt: str) -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.queues.get_queue(queue).delete_message(
-                message_id, pop_receipt)
-
-    def update_message(self, queue: str, message_id: str, pop_receipt: str,
-                       data=None, *, visibility_timeout: float = 0.0):
-        content = as_content(data) if data is not None else None
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.queues.get_queue(queue).update_message(
-                message_id, pop_receipt, content,
-                visibility_timeout=visibility_timeout)
-
-    def get_message_count(self, queue: str) -> int:
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.queues.get_queue(queue).approximate_message_count()
-
-    def list_queues(self, prefix: str = ""):
-        with self.account._op():
-            return self.state.queues.list_queues(prefix)
-
-
-class EmulatorTableClient(_EmulatorClientBase):
-    """Blocking table client over the emulator."""
-
-    def create_table(self, name: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.create_table(name)
-
-    def delete_table(self, name: str) -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.tables.delete_table(name)
-
-    def insert(self, table: str, partition_key: str, row_key: str,
-               properties: Mapping[str, Any]):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).insert(
-                partition_key, row_key, properties)
-
-    def get(self, table: str, partition_key: str, row_key: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).get(
-                partition_key, row_key)
-
-    def query(self, table: str, filter=None, *, top: Optional[int] = None,
-              continuation=None, select=None):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).query(
-                filter, top=top, continuation=continuation, select=select)
-
-    def query_partition(self, table: str, partition_key: str, filter=None, *,
-                        select=None):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).query_partition(
-                partition_key, filter, select=select)
-
-    def insert_or_replace(self, table: str, partition_key: str, row_key: str,
-                          properties: Mapping[str, Any]):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).insert_or_replace(
-                partition_key, row_key, properties)
-
-    def insert_or_merge(self, table: str, partition_key: str, row_key: str,
-                        properties: Mapping[str, Any]):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).insert_or_merge(
-                partition_key, row_key, properties)
-
-    def update(self, table: str, partition_key: str, row_key: str,
-               properties: Mapping[str, Any], *, etag: Optional[str] = "*"):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).update(
-                partition_key, row_key, properties, etag=etag)
-
-    def merge(self, table: str, partition_key: str, row_key: str,
-              properties: Mapping[str, Any], *, etag: Optional[str] = "*"):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).merge(
-                partition_key, row_key, properties, etag=etag)
-
-    def delete(self, table: str, partition_key: str, row_key: str, *,
-               etag: Optional[str] = "*") -> None:
-        self.account._maybe_sleep()
-        with self.account._op():
-            self.state.tables.get_table(table).delete(
-                partition_key, row_key, etag=etag)
-
-    def execute_batch(self, table: str, operations: Sequence[BatchOperation]):
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.state.tables.get_table(table).execute_batch(operations)
-
-
-class EmulatorCacheClient(_EmulatorClientBase):
-    """Blocking caching-service client over the emulator."""
-
-    def create_cache(self, name: str, *, capacity_bytes: int = None,
-                     default_ttl: float = None):
-        self.account._maybe_sleep()
-        with self.account._op():
-            kwargs = {}
-            if capacity_bytes is not None:
-                kwargs["capacity_bytes"] = capacity_bytes
-            if default_ttl is not None:
-                kwargs["default_ttl"] = default_ttl
-            return self.account.cache_state.create_cache(name, **kwargs)
-
-    def put(self, cache: str, key: str, value, *, ttl: float = None,
-            sliding: bool = False):
-        content = as_content(value)
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.account.cache_state.get_cache(cache).put(
-                key, content, ttl=ttl, sliding=sliding)
-
-    def get(self, cache: str, key: str):
-        self.account._maybe_sleep()
-        with self.account._op():
-            item = self.account.cache_state.get_cache(cache).get(key)
-            return item.value if item is not None else None
-
-    def remove(self, cache: str, key: str) -> bool:
-        self.account._maybe_sleep()
-        with self.account._op():
-            return self.account.cache_state.get_cache(cache).remove(key)
+EmulatorCacheClient = derive_client_class(
+    "EmulatorCacheClient", "cache", _EmulatorClientBase,
+    method_factory=blocking_method, local_factory=locked_local_method,
+    doc="Blocking cache client over the emulator (registry-derived).",
+)

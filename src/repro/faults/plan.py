@@ -1,11 +1,13 @@
 """The deterministic fault-injection engine.
 
 A :class:`FaultPlan` owns a set of :class:`~repro.faults.spec.FaultSpec`
-schedules plus one seeded RNG.  The simulated fabric consults the plan on
-every operation (:meth:`FaultPlan.pre_execute`, wired into
-:meth:`repro.cluster.model.StorageCluster.execute`) and on the queue data
-plane (:meth:`drop_message` / :meth:`duplicate_delivery`, wired into
-:class:`repro.sim.clients.SimQueueClient`).
+schedules plus one seeded RNG.  Both backends consult the plan on every
+operation through the shared pipeline's
+:class:`~repro.pipeline.interceptors.FaultInterceptor` (``cluster`` is the
+:class:`~repro.cluster.model.StorageCluster` on the sim backend and
+``None`` on the emulator, which has no placement model), and on the queue
+data plane (:meth:`drop_message` / :meth:`duplicate_delivery`, wired into
+the registry's queue operation bodies).
 
 Determinism: the simulation itself is deterministic, so the sequence of
 plan queries — and therefore the sequence of RNG draws — is identical
@@ -148,6 +150,21 @@ class FaultPlan:
         failover window, then reassign it to a fresh server."""
         service = op.service.value
         if spec.service is not None and spec.service != service:
+            return
+        if cluster is None:
+            # No placement model (the emulator backend): the crash hits the
+            # named partition only, and there is no server pool to reassign
+            # — the range "recovers" when the window closes.
+            if spec.partition is not None and spec.partition != op.partition:
+                return
+            if spec.active(now):
+                self._record(FaultKind.PARTITION_CRASH, service,
+                             op.partition, now)
+                raise ServerBusyError(
+                    f"{service} partition server crashed; range of "
+                    f"{op.partition!r} is being reassigned",
+                    retry_after=self._retry_after(spec, cluster),
+                )
             return
         pool = cluster.pool_for(op.service)
         if spec.partition is not None and (

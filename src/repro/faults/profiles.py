@@ -15,7 +15,7 @@ package; see the package docstring).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from .plan import FaultPlan
 from .spec import FaultKind, FaultSpec

@@ -25,7 +25,7 @@ mechanisms").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, Sequence
+from typing import Callable, Generator, List, Optional, Sequence
 
 from ..compute.roles import RoleContext
 from ..resilience import RetryPolicy

@@ -1,0 +1,58 @@
+"""The per-operation context flowing through the interceptor stack.
+
+One :class:`OpContext` is created per storage round trip, regardless of
+backend.  Interceptors read the immutable
+:class:`~repro.cluster.ops.OpDescriptor` and annotate the mutable fields:
+fault interceptors set ``latency_factor``/``timeout_spec``, the executors
+fill in the timing fields, and observers (Storage Analytics) read the
+finished record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # avoids a cycle: repro.cluster.model imports this module
+    from ..cluster.ops import OpDescriptor
+
+__all__ = ["OpContext"]
+
+
+@dataclass
+class OpContext:
+    """Mutable state of one storage operation crossing the pipeline.
+
+    The descriptor says *what* is being done; everything else records what
+    the pipeline decided about it and how the round trip went.
+    """
+
+    #: What operation (service, kind, partition, bytes) is in flight.
+    op: OpDescriptor
+    #: Which executor is driving: ``"sim"`` or ``"emulator"``.
+    backend: str = "sim"
+    #: Backend clock reading when the round trip began (sim time or wall
+    #: seconds since the emulator account was created).
+    started_at: float = 0.0
+    #: Clock reading when the round trip completed (or failed).
+    finished_at: float = 0.0
+    #: Un-jittered server occupancy — what Storage Analytics reports as
+    #: server latency.  The emulator has no cost model, so it stays 0.
+    server_latency: float = 0.0
+    #: Multiplier injected by active LATENCY fault windows (1.0 = none).
+    latency_factor: float = 1.0
+    #: The TIMEOUT fault spec that fired for this op, if any.  The executor
+    #: burns ``timeout_spec.timeout_after`` and raises.
+    timeout_spec: Optional[Any] = None
+    #: The fault plan that set ``timeout_spec`` (the executor asks it to
+    #: record the fired timeout).
+    fault_plan: Optional[Any] = None
+    #: The error that terminated the round trip, if it failed.
+    error: Optional[BaseException] = None
+    #: Free-form scratch space for custom interceptors.
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        """Round-trip duration as observed by the backend clock."""
+        return self.finished_at - self.started_at

@@ -1,0 +1,88 @@
+"""The two thin executors driving operation bodies through the pipeline.
+
+An executor owns the *how* of a round trip; the operation bodies in
+:mod:`repro.pipeline.registry` own the *what*.
+
+* :class:`SimExecutor` — charges the round trip on the DES fabric:
+  ``charge`` is a simkit generator delegating to
+  :meth:`repro.cluster.model.StorageCluster.execute`, which runs the
+  interceptor chain and then the cost model (RTT + partition-server
+  occupancy) in simulated time.
+* :class:`BlockingExecutor` — the emulator path: serialize on the
+  account's reentrant lock, run the same interceptor chain against the
+  wall (or injectable) clock, then apply the data-plane change.  No cost
+  model — the only time consumed is real time (optional artificial
+  latency, and injected TIMEOUT faults, which burn their budget on the
+  account clock).
+"""
+
+from __future__ import annotations
+
+import time
+
+from .context import OpContext
+
+__all__ = ["SimExecutor", "BlockingExecutor"]
+
+
+class SimExecutor:
+    """DES executor: charge descriptors on a :class:`StorageCluster`."""
+
+    backend = "sim"
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+
+    def charge(self, desc):
+        """Simkit sub-generator: burn the op's simulated round trip."""
+        yield from self.cluster.execute(desc)
+
+
+class BlockingExecutor:
+    """Emulator executor: lock, run interceptors on the clock, apply."""
+
+    backend = "emulator"
+
+    def __init__(self, account) -> None:
+        self.account = account
+
+    def _burn(self, seconds: float) -> None:
+        """Consume an injected timeout budget on the account's clock."""
+        clock = self.account.state.clock
+        if hasattr(clock, "advance"):
+            clock.advance(seconds)  # ManualClock: tests stay instant
+        else:
+            time.sleep(seconds)
+
+    def run(self, spec, call, args, kwargs):
+        """Drive one operation body: prepare, pipeline, apply, return."""
+        account = self.account
+        account._maybe_sleep()
+        with account._lock:
+            gen = spec.body(call, *args, **kwargs)
+            desc = next(gen)  # prepare: validation errors raise here
+            clock = account.state.clock
+            ctx = OpContext(op=desc, backend=self.backend,
+                            started_at=clock.now())
+            try:
+                account.pipeline.run_before(ctx)
+                if ctx.timeout_spec is not None:
+                    # The request is doomed: it consumes the timeout budget
+                    # (the server never completes the work).
+                    self._burn(ctx.timeout_spec.timeout_after)
+                    raise ctx.fault_plan.record_timeout(
+                        ctx.timeout_spec, desc, clock.now())
+            except BaseException as exc:
+                gen.close()
+                ctx.finished_at = clock.now()
+                account.pipeline.run_failed(ctx, exc)
+                raise
+            ctx.finished_at = clock.now()
+            account.pipeline.run_after(ctx)
+            try:
+                gen.send(None)  # apply at the completion instant
+            except StopIteration as stop:
+                return stop.value
+            gen.close()
+            raise RuntimeError(
+                f"operation body {spec.name!r} yielded more than once")

@@ -14,26 +14,30 @@ process generators**: call them with ``yield from`` inside a process. ::
 Each call charges the cluster's cost model (latency, server contention,
 throttling) and applies the state change when the simulated round trip
 completes.
+
+The per-operation method bodies are *not* written here: every class below
+is derived from the shared operation registry
+(:mod:`repro.pipeline.registry`) via
+:func:`repro.pipeline.clients.derive_client_class`, bound to the DES
+executor.  The emulator derives its clients from the same table, which is
+what keeps the two backends semantically identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Optional, Sequence, Tuple
+from typing import Optional
 
-from ..cluster import OpDescriptor, OpKind, Service, StorageCluster
+from ..cluster import OpDescriptor, StorageCluster
 from ..cluster.calibration import DEFAULT_CALIBRATION, FabricCalibration
+from ..pipeline import OpCall, SimExecutor, derive_client_class, sim_method
 from ..simkit import Environment
 from ..storage import (
-    Content,
     LIMITS_2012,
     ServiceLimits,
     SimClock,
     StorageAccountState,
-    as_content,
 )
 from ..storage.cache import CacheServiceState
-from ..storage.queue import QueueMessage
-from ..storage.table import BatchOperation, Entity
 
 __all__ = [
     "SimStorageAccount",
@@ -48,7 +52,9 @@ class SimStorageAccount:
     """A storage account bound to a simulated fabric.
 
     Owns the backend-agnostic :class:`StorageAccountState` (driven by the
-    simulation clock) and the :class:`StorageCluster` performance model.
+    simulation clock), the :class:`StorageCluster` performance model, and
+    the :class:`~repro.pipeline.executors.SimExecutor` that charges every
+    operation through the cluster's interceptor pipeline.
     """
 
     def __init__(self, env: Environment, name: str = "azurebench", *,
@@ -66,6 +72,17 @@ class SimStorageAccount:
         #: The co-located caching service (paper II.B; separate billing, so
         #: it lives beside — not inside — the storage account state).
         self.cache_state = CacheServiceState(self.state.clock)
+        self.executor = SimExecutor(self.cluster)
+        self._op_call = OpCall(
+            self.state, self.cache_state,
+            now_fn=lambda: env.now,
+            plan_fn=lambda: self.cluster.fault_plan,
+        )
+
+    @property
+    def pipeline(self):
+        """The cluster's interceptor stack (see :mod:`repro.pipeline`)."""
+        return self.cluster.pipeline
 
     def blob_client(self) -> "SimBlobClient":
         return SimBlobClient(self)
@@ -81,444 +98,53 @@ class SimStorageAccount:
 
 
 class _SimClientBase:
+    """Plumbing every derived sim client shares."""
+
     def __init__(self, account: SimStorageAccount) -> None:
         self.account = account
         self.env = account.env
         self.cluster = account.cluster
         self.state = account.state
+        self._executor = account.executor
+        self._call = account._op_call
 
     def _charge(self, op: OpDescriptor):
-        yield from self.cluster.execute(op)
+        """Charge one descriptor on the fabric (back-compat helper)."""
+        yield from self._executor.charge(op)
 
 
-class SimBlobClient(_SimClientBase):
-    """Blob service client (paper Algorithm 1 API surface)."""
+SimBlobClient = derive_client_class(
+    "SimBlobClient", "blob", _SimClientBase, method_factory=sim_method,
+    doc="""Blob service client (paper Algorithm 1/5 API surface).
 
-    def _blob_partition(self, container: str, blob: str) -> str:
-        # "Blobs are partitioned based on container name + blob name."
-        return f"{container}/{blob}"
+    Derived from the operation registry; every method is a simkit
+    generator — call with ``yield from``.
+    """,
+)
 
-    # -- containers ---------------------------------------------------------
-    def create_container(self, name: str):
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.CREATE_CONTAINER, partition=name))
-        return self.state.blobs.create_container(name)
+SimQueueClient = derive_client_class(
+    "SimQueueClient", "queue", _SimClientBase, method_factory=sim_method,
+    doc="""Queue service client (paper Algorithms 2-4 API surface).
 
-    def delete_container(self, name: str):
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.DELETE_CONTAINER, partition=name))
-        self.state.blobs.delete_container(name)
+    Derived from the operation registry; every method is a simkit
+    generator — call with ``yield from``.
+    """,
+)
 
-    # -- block blobs ---------------------------------------------------------
-    def put_block(self, container: str, blob: str, block_id: str, data):
-        """``PutBlock``: stage one block (creates the blob if needed)."""
-        content = as_content(data)
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.PUT_BLOCK,
-            partition=self._blob_partition(container, blob),
-            nbytes=content.size))
-        c = self.state.blobs.get_container(container)
-        if blob not in c:
-            c.create_block_blob(blob)
-        c.get_block_blob(blob).put_block(block_id, content)
+SimTableClient = derive_client_class(
+    "SimTableClient", "table", _SimClientBase, method_factory=sim_method,
+    doc="""Table service client (paper section IV.C API surface).
 
-    def put_block_list(self, container: str, blob: str,
-                       block_ids: Sequence[str], *, merge: bool = False):
-        """``PutBlockList``: commit the staged blocks in order.
+    Derived from the operation registry; every method is a simkit
+    generator — call with ``yield from``.
+    """,
+)
 
-        ``merge=True`` commits on top of the current committed list (the
-        multi-writer discipline Algorithm 1 relies on, applied atomically at
-        the simulated completion instant).
-        """
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.PUT_BLOCK_LIST,
-            partition=self._blob_partition(container, blob),
-            block_count=len(block_ids)))
-        c = self.state.blobs.get_container(container)
-        c.get_block_blob(blob).put_block_list(block_ids, merge=merge)
+SimCacheClient = derive_client_class(
+    "SimCacheClient", "cache", _SimClientBase, method_factory=sim_method,
+    doc="""Caching service client (paper II.B; billed separately).
 
-    def upload_blob(self, container: str, blob: str, data):
-        """Single-shot block blob upload (< 64 MB)."""
-        content = as_content(data)
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.UPLOAD_BLOB,
-            partition=self._blob_partition(container, blob),
-            nbytes=content.size))
-        c = self.state.blobs.get_container(container)
-        if blob not in c:
-            c.create_block_blob(blob)
-        c.get_block_blob(blob).upload(content)
-
-    def get_block(self, container: str, blob: str, index: int):
-        """``GetBlock``: read one committed block sequentially."""
-        blob_state = self.state.blobs.get_container(container).get_block_blob(blob)
-        content = blob_state.get_block(index)
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.GET_BLOCK,
-            partition=self._blob_partition(container, blob),
-            nbytes=content.size))
-        return content
-
-    def download_block_blob(self, container: str, blob: str):
-        """``DownloadText``: stream the whole committed blob."""
-        blob_state = self.state.blobs.get_container(container).get_block_blob(blob)
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.DOWNLOAD_BLOB,
-            partition=self._blob_partition(container, blob),
-            nbytes=blob_state.size))
-        return blob_state.download()
-
-    def block_count(self, container: str, blob: str) -> int:
-        """Committed block count (no round trip: local bookkeeping)."""
-        return self.state.blobs.get_container(container).get_block_blob(blob).block_count
-
-    # -- page blobs ---------------------------------------------------------
-    def create_page_blob(self, container: str, blob: str, max_size: int):
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.CREATE_CONTAINER,  # metadata-cost op
-            partition=self._blob_partition(container, blob)))
-        c = self.state.blobs.get_container(container)
-        return c.create_page_blob(blob, max_size)
-
-    def put_page(self, container: str, blob: str, offset: int, data):
-        """``PutPage``: random write at a 512-aligned offset."""
-        content = as_content(data)
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.PUT_PAGE,
-            partition=self._blob_partition(container, blob),
-            nbytes=content.size))
-        c = self.state.blobs.get_container(container)
-        c.get_page_blob(blob).put_pages(offset, content)
-
-    def get_page(self, container: str, blob: str, offset: int, length: int):
-        """``GetPage``: random read of an aligned range (pays seek cost)."""
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.GET_PAGE,
-            partition=self._blob_partition(container, blob),
-            nbytes=length))
-        blob_state = self.state.blobs.get_container(container).get_page_blob(blob)
-        return blob_state.read(offset, length)
-
-    def download_page_blob(self, container: str, blob: str, *,
-                           written_only: bool = True):
-        """``openRead()``-style streaming download of a page blob.
-
-        ``written_only`` charges only written ranges (the service does not
-        ship unwritten zero pages over the wire).
-        """
-        blob_state = self.state.blobs.get_container(container).get_page_blob(blob)
-        nbytes = blob_state.written_bytes if written_only else blob_state.size
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.DOWNLOAD_BLOB,
-            partition=self._blob_partition(container, blob),
-            nbytes=nbytes))
-        return blob_state.read_all()
-
-    # -- shared -----------------------------------------------------------
-    def delete_blob(self, container: str, blob: str, *,
-                    lease_id=None, delete_snapshots: bool = False):
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.DELETE_BLOB,
-            partition=self._blob_partition(container, blob)))
-        self.state.blobs.get_container(container).delete_blob(
-            blob, lease_id=lease_id, delete_snapshots=delete_snapshots)
-
-    # -- leases (metadata-cost round trips) --------------------------------
-    def acquire_lease(self, container: str, blob: str):
-        """Take the blob's one-minute exclusive write lease."""
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.CREATE_CONTAINER,
-            partition=self._blob_partition(container, blob)))
-        return self.state.blobs.get_container(container) \
-            .get_blob(blob).acquire_lease()
-
-    def renew_lease(self, container: str, blob: str, lease_id: str):
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.CREATE_CONTAINER,
-            partition=self._blob_partition(container, blob)))
-        self.state.blobs.get_container(container) \
-            .get_blob(blob).renew_lease(lease_id)
-
-    def release_lease(self, container: str, blob: str, lease_id: str):
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.CREATE_CONTAINER,
-            partition=self._blob_partition(container, blob)))
-        self.state.blobs.get_container(container) \
-            .get_blob(blob).release_lease(lease_id)
-
-    # -- snapshots ---------------------------------------------------------
-    def snapshot_blob(self, container: str, blob: str):
-        """Take an immutable point-in-time snapshot."""
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.CREATE_CONTAINER,
-            partition=self._blob_partition(container, blob)))
-        return self.state.blobs.get_container(container) \
-            .get_blob(blob).snapshot()
-
-    def download_snapshot(self, container: str, blob: str, snapshot_id: str):
-        blob_state = self.state.blobs.get_container(container).get_blob(blob)
-        snap = blob_state.get_snapshot(snapshot_id)
-        yield from self._charge(OpDescriptor(
-            Service.BLOB, OpKind.DOWNLOAD_BLOB,
-            partition=self._blob_partition(container, blob),
-            nbytes=snap.size))
-        return snap.download()
-
-
-class SimQueueClient(_SimClientBase):
-    """Queue service client (paper Algorithms 2-4 API surface)."""
-
-    def _fault_plan(self):
-        """The cluster's fault schedule (queue data-plane faults)."""
-        return self.cluster.fault_plan
-
-    def create_queue(self, name: str):
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.CREATE_QUEUE, partition=name))
-        return self.state.queues.create_queue(name)
-
-    def delete_queue(self, name: str):
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.DELETE_QUEUE, partition=name))
-        self.state.queues.delete_queue(name)
-
-    def put_message(self, queue: str, data, *, ttl: Optional[float] = None,
-                    visibility_delay: float = 0.0):
-        """``PutMessage``."""
-        content = as_content(data)
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.PUT_MESSAGE, partition=queue,
-            nbytes=content.size))
-        plan = self._fault_plan()
-        if plan is not None and plan.drop_message(queue, self.env.now):
-            # Injected message loss: the service acked the put but the
-            # payload never landed (lost replica write).
-            self.state.queues.get_queue(queue)  # still 404s if missing
-            return None
-        return self.state.queues.get_queue(queue).put_message(
-            content, ttl=ttl, visibility_delay=visibility_delay)
-
-    def _next_visible_size(self, queue: str) -> int:
-        q = self.state.queues.get_queue(queue)
-        peeked = q.peek_messages(1)
-        return peeked[0].size if peeked else 0
-
-    def get_message(self, queue: str, *,
-                    visibility_timeout: Optional[float] = None):
-        """``GetMessage``: returns a message or ``None``."""
-        nbytes = self._next_visible_size(queue)
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.GET_MESSAGE, partition=queue, nbytes=nbytes))
-        msg = self.state.queues.get_queue(queue).get_message(
-            visibility_timeout=visibility_timeout)
-        plan = self._fault_plan()
-        if (msg is not None and plan is not None
-                and plan.duplicate_delivery(queue, self.env.now)):
-            # Injected duplicate delivery: the message stays visible, so
-            # another consumer receives it too (at-least-once anomaly).
-            self.state.queues.get_queue(queue).make_visible(msg.message_id)
-        return msg
-
-    def get_messages(self, queue: str, n: int = 1, *,
-                     visibility_timeout: Optional[float] = None):
-        """Batch ``GetMessages``: up to 32 messages in one round trip."""
-        if not 1 <= n <= 32:
-            raise ValueError("n must be in 1..32 (2012 API limit)")
-        q = self.state.queues.get_queue(queue)
-        visible = q.peek_messages(n)
-        nbytes = sum(m.size for m in visible)
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.GET_MESSAGE, partition=queue,
-            nbytes=nbytes, units=max(1, len(visible))))
-        got = q.get_messages(n, visibility_timeout=visibility_timeout)
-        plan = self._fault_plan()
-        if plan is not None:
-            for m in got:
-                if plan.duplicate_delivery(queue, self.env.now):
-                    q.make_visible(m.message_id)
-        return got
-
-    def peek_message(self, queue: str):
-        """``PeekMessage``: non-destructive read, or ``None``."""
-        nbytes = self._next_visible_size(queue)
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.PEEK_MESSAGE, partition=queue, nbytes=nbytes))
-        return self.state.queues.get_queue(queue).peek_message()
-
-    def delete_message(self, queue: str, message_id: str, pop_receipt: str):
-        """``DeleteMessage``."""
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.DELETE_MESSAGE, partition=queue))
-        self.state.queues.get_queue(queue).delete_message(message_id, pop_receipt)
-
-    def update_message(self, queue: str, message_id: str, pop_receipt: str,
-                       data=None, *, visibility_timeout: float = 0.0):
-        content = as_content(data) if data is not None else None
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.UPDATE_MESSAGE, partition=queue,
-            nbytes=content.size if content is not None else 0))
-        return self.state.queues.get_queue(queue).update_message(
-            message_id, pop_receipt, content,
-            visibility_timeout=visibility_timeout)
-
-    def get_message_count(self, queue: str):
-        """``GetMsgCount``: the approximate count Algorithm 2 polls."""
-        yield from self._charge(OpDescriptor(
-            Service.QUEUE, OpKind.GET_MESSAGE_COUNT, partition=queue))
-        return self.state.queues.get_queue(queue).approximate_message_count()
-
-
-class SimTableClient(_SimClientBase):
-    """Table service client (paper Algorithm 5 API surface)."""
-
-    @staticmethod
-    def _props_bytes(properties: Mapping[str, Any]) -> int:
-        total = 0
-        for value in properties.values():
-            if isinstance(value, Content):
-                total += value.size
-            elif isinstance(value, bytes):
-                total += len(value)
-            elif isinstance(value, str):
-                total += 2 * len(value)
-            else:
-                total += 8
-        return total
-
-    def create_table(self, name: str):
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.CREATE_TABLE, partition=name))
-        return self.state.tables.create_table(name)
-
-    def delete_table(self, name: str):
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.DELETE_TABLE, partition=name))
-        self.state.tables.delete_table(name)
-
-    def insert(self, table: str, partition_key: str, row_key: str,
-               properties: Mapping[str, Any]):
-        """``AddRow``: insert a new entity."""
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.INSERT_ENTITY, partition=partition_key,
-            nbytes=self._props_bytes(properties)))
-        return self.state.tables.get_table(table).insert(
-            partition_key, row_key, properties)
-
-    def get(self, table: str, partition_key: str, row_key: str):
-        """``Query`` (point lookup by full key)."""
-        t = self.state.tables.get_table(table)
-        existing = t.try_get(partition_key, row_key)
-        nbytes = existing.size if existing is not None else 0
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.QUERY_ENTITY, partition=partition_key,
-            nbytes=nbytes))
-        return t.get(partition_key, row_key)
-
-    def query_partition(self, table: str, partition_key: str,
-                        filter=None, *, select=None):
-        """Range query over one partition (optionally ``$select``-ed)."""
-        t = self.state.tables.get_table(table)
-        entities = t.query_partition(partition_key, filter, select=select)
-        nbytes = sum(e.size for e in entities)
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.QUERY_ENTITY, partition=partition_key,
-            nbytes=nbytes, units=max(1, len(entities))))
-        return entities
-
-    def update(self, table: str, partition_key: str, row_key: str,
-               properties: Mapping[str, Any], *, etag: Optional[str] = "*"):
-        """``Update``: replace the property bag (wildcard ETag by default)."""
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.UPDATE_ENTITY, partition=partition_key,
-            nbytes=self._props_bytes(properties)))
-        return self.state.tables.get_table(table).update(
-            partition_key, row_key, properties, etag=etag)
-
-    def merge(self, table: str, partition_key: str, row_key: str,
-              properties: Mapping[str, Any], *, etag: Optional[str] = "*"):
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.MERGE_ENTITY, partition=partition_key,
-            nbytes=self._props_bytes(properties)))
-        return self.state.tables.get_table(table).merge(
-            partition_key, row_key, properties, etag=etag)
-
-    def insert_or_replace(self, table: str, partition_key: str, row_key: str,
-                          properties: Mapping[str, Any]):
-        """Upsert, replacing the property bag if the entity exists."""
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.UPDATE_ENTITY, partition=partition_key,
-            nbytes=self._props_bytes(properties)))
-        return self.state.tables.get_table(table).insert_or_replace(
-            partition_key, row_key, properties)
-
-    def insert_or_merge(self, table: str, partition_key: str, row_key: str,
-                        properties: Mapping[str, Any]):
-        """Upsert, merging into the property bag if the entity exists."""
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.MERGE_ENTITY, partition=partition_key,
-            nbytes=self._props_bytes(properties)))
-        return self.state.tables.get_table(table).insert_or_merge(
-            partition_key, row_key, properties)
-
-    def delete(self, table: str, partition_key: str, row_key: str, *,
-               etag: Optional[str] = "*"):
-        """``Delete``."""
-        t = self.state.tables.get_table(table)
-        existing = t.try_get(partition_key, row_key)
-        nbytes = existing.size if existing is not None else 0
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.DELETE_ENTITY, partition=partition_key,
-            nbytes=nbytes))
-        t.delete(partition_key, row_key, etag=etag)
-
-    def execute_batch(self, table: str, operations: Sequence[BatchOperation]):
-        """Entity-group transaction: one round trip, atomic."""
-        ops = list(operations)
-        nbytes = sum(self._props_bytes(op.properties or {}) for op in ops)
-        partition = ops[0].partition_key if ops else table
-        yield from self._charge(OpDescriptor(
-            Service.TABLE, OpKind.BATCH, partition=partition,
-            nbytes=nbytes, units=max(1, len(ops))))
-        return self.state.tables.get_table(table).execute_batch(ops)
-
-
-class SimCacheClient(_SimClientBase):
-    """Caching-service client (paper II.B; the paper's future-work item)."""
-
-    def create_cache(self, name: str, *, capacity_bytes: int = None,
-                     default_ttl: float = None):
-        yield from self._charge(OpDescriptor(
-            Service.CACHE, OpKind.CREATE_CACHE, partition=name))
-        kwargs = {}
-        if capacity_bytes is not None:
-            kwargs["capacity_bytes"] = capacity_bytes
-        if default_ttl is not None:
-            kwargs["default_ttl"] = default_ttl
-        return self.account.cache_state.create_cache(name, **kwargs)
-
-    def put(self, cache: str, key: str, value, *, ttl: float = None,
-            sliding: bool = False):
-        content = as_content(value)
-        yield from self._charge(OpDescriptor(
-            Service.CACHE, OpKind.CACHE_PUT, partition=cache,
-            nbytes=content.size))
-        return self.account.cache_state.get_cache(cache).put(
-            key, content, ttl=ttl, sliding=sliding)
-
-    def get(self, cache: str, key: str):
-        """Returns the cached Content or None on miss."""
-        c = self.account.cache_state.get_cache(cache)
-        # The transfer size of a hit is known server-side; peek it for the
-        # cost model without disturbing LRU order or statistics.
-        nbytes = 0
-        if c.contains(key):
-            nbytes = c._items[key].size
-        yield from self._charge(OpDescriptor(
-            Service.CACHE, OpKind.CACHE_GET, partition=cache, nbytes=nbytes))
-        item = c.get(key)
-        return item.value if item is not None else None
-
-    def remove(self, cache: str, key: str):
-        yield from self._charge(OpDescriptor(
-            Service.CACHE, OpKind.CACHE_REMOVE, partition=cache))
-        return self.account.cache_state.get_cache(cache).remove(key)
+    Derived from the operation registry; every method is a simkit
+    generator — call with ``yield from``.
+    """,
+)

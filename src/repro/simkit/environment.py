@@ -6,7 +6,7 @@ import heapq
 from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple
 
-from .events import AllOf, AnyOf, Event, NORMAL, PENDING, Timeout
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout
 from .exceptions import EmptySchedule
 from .process import Process, ProcessGenerator
 

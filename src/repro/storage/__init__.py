@@ -29,6 +29,7 @@ from .content import (
 )
 from .errors import (
     AccountCapacityExceededError,
+    AuthenticationFailedError,
     BatchError,
     BlobNotFoundError,
     BlockNotFoundError,
@@ -144,5 +145,6 @@ __all__ = [
     "OutOfRangeError",
     "LeaseConflictError",
     "AccountCapacityExceededError",
+    "AuthenticationFailedError",
     "BatchError",
 ]

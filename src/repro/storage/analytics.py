@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "RequestRecord",
@@ -185,47 +185,33 @@ class MetricsAggregator:
         return total
 
 
-def attach_analytics(cluster, *, log: Optional[RequestLog] = None,
+def attach_analytics(target, *, log: Optional[RequestLog] = None,
                      metrics: Optional[MetricsAggregator] = None
                      ) -> Tuple[RequestLog, MetricsAggregator]:
-    """Instrument a :class:`~repro.cluster.model.StorageCluster` in place.
+    """Instrument a backend in place; returns ``(log, metrics)``.
 
-    Wraps ``cluster.execute`` so every operation (including throttle
-    rejections) is logged and aggregated.  Returns ``(log, metrics)``.
+    ``target`` is anything exposing an operation ``pipeline`` — a
+    :class:`~repro.cluster.model.StorageCluster`, a
+    :class:`~repro.sim.clients.SimStorageAccount`, or an
+    :class:`~repro.emulator.clients.EmulatorAccount`.  An
+    :class:`~repro.pipeline.interceptors.AnalyticsInterceptor` is inserted
+    ahead of the fault stage, so every operation — successes, throttle
+    rejections, injected faults, timeouts — is logged and aggregated,
+    exactly as the August 2011 Storage Analytics release would have.
     """
-    from ..storage.errors import StorageError
+    # Imported here, not at module level: repro.pipeline depends on this
+    # module for the record types, and layering flows pipeline -> storage.
+    from ..pipeline.interceptors import AnalyticsInterceptor
 
     log = log if log is not None else RequestLog()
     metrics = metrics if metrics is not None else MetricsAggregator()
-    inner_execute = cluster.execute
-
-    def observed_execute(op):
-        env = cluster.env
-        start = env.now
-        occupancy = cluster.server_occupancy(op)
-        try:
-            result = yield from inner_execute(op)
-        except StorageError as exc:
-            record = RequestRecord(
-                time=start, service=op.service.value, operation=op.kind.value,
-                partition=op.partition, nbytes=op.nbytes,
-                end_to_end_latency=env.now - start, server_latency=0.0,
-                status_code=exc.status_code, error_code=exc.error_code,
-            )
-            log.append(record)
-            metrics.observe(record)
-            raise
-        record = RequestRecord(
-            time=start, service=op.service.value, operation=op.kind.value,
-            partition=op.partition, nbytes=op.nbytes,
-            end_to_end_latency=env.now - start, server_latency=occupancy,
-            status_code=201 if op.is_write else 200,
-        )
-        log.append(record)
-        metrics.observe(record)
-        return result
-
-    cluster.execute = observed_execute
+    pipeline = getattr(target, "pipeline", None)
+    if pipeline is None:
+        raise TypeError(
+            f"attach_analytics needs an object with an operation pipeline "
+            f"(StorageCluster, SimStorageAccount, or EmulatorAccount); "
+            f"got {target!r}")
+    pipeline.add(AnalyticsInterceptor(log, metrics), before="faults")
     return log, metrics
 
 

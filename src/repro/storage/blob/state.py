@@ -22,8 +22,6 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..clock import Clock
 from ..content import (
-    BytesContent,
-    CompositeContent,
     Content,
     ZeroContent,
     as_content,

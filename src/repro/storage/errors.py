@@ -15,6 +15,7 @@ __all__ = [
     "TransientServerError",
     "OperationTimedOutError",
     "RETRYABLE_ERRORS",
+    "AuthenticationFailedError",
     "ResourceNotFoundError",
     "ContainerNotFoundError",
     "BlobNotFoundError",
@@ -108,6 +109,17 @@ class OperationTimedOutError(StorageError):
 #: Errors a well-behaved 2012 client retries (the SDK retry-policy set).
 RETRYABLE_ERRORS = (ServerBusyError, TransientServerError,
                     OperationTimedOutError)
+
+
+class AuthenticationFailedError(StorageError):
+    """403: the request signature or account key was rejected.
+
+    Raised by an :class:`~repro.pipeline.interceptors.AuthInterceptor`
+    at the front of the operation pipeline.
+    """
+
+    status_code = 403
+    error_code = "AuthenticationFailed"
 
 
 class ResourceNotFoundError(StorageError):

@@ -6,7 +6,7 @@ two entities in the same table can have different properties." (paper IV.C)
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Tuple
 
 from ..content import Content
 from ..errors import (

@@ -16,7 +16,7 @@ so the cluster model can enforce the 500 entities/s/partition target.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..clock import Clock
 from ..errors import (

@@ -5,7 +5,6 @@ import pytest
 from repro.compute import (
     Deployment,
     EXTRA_LARGE,
-    Endpoint,
     EndpointError,
     EndpointRegistry,
     ProvisioningModel,
@@ -13,7 +12,7 @@ from repro.compute import (
     provisioned_start,
 )
 from repro.sim import SimStorageAccount
-from repro.simkit import AllOf, Environment
+from repro.simkit import Environment
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import threading
 import pytest
 
 from repro.emulator import EmulatorAccount
-from repro.storage import KB, MB, ManualClock
+from repro.storage import MB, ManualClock
 from repro.storage.table import BatchOperation
 
 

@@ -1,0 +1,149 @@
+"""Randomized cross-backend equivalence through both executors.
+
+One seeded operation sequence — including operations engineered to fail —
+is pushed through the DES executor (sim clients inside a simkit process)
+and the blocking executor (emulator clients).  Because both derive every
+method from the same registry body, the final data-plane state AND the
+per-operation error classes must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emulator import EmulatorAccount
+from repro.sim import SimStorageAccount
+from repro.simkit import Environment
+from repro.storage import KB, ManualClock
+
+VIS = 3600  # visibility long enough that sim-time never re-reveals messages
+
+
+def random_op_sequence(seed, n_ops=150):
+    """(method, args, kwargs) tuples over all four services, ~1/3 failing."""
+    rng = np.random.default_rng(seed)
+    ops = [
+        ("blob", "create_container", ("cont",), {}),
+        ("blob", "create_page_blob", ("cont", "pb", 64 * KB), {}),
+        ("queue", "create_queue", ("que",), {}),
+        ("table", "create_table", ("Tab",), {}),
+        ("cache", "create_cache", ("hot",), {}),
+    ]
+    for i in range(n_ops):
+        size = int(rng.integers(1, 8)) * 64
+        payload = bytes([i % 256]) * size
+        kind = int(rng.integers(0, 16))
+        if kind == 0:
+            ops.append(("blob", "put_block", ("cont", "bb", f"b{i:04d}",
+                                              payload), {}))
+            ops.append(("blob", "put_block_list",
+                        ("cont", "bb", [f"b{i:04d}"]), {"merge": True}))
+        elif kind == 1:  # commit a block that was never staged -> error
+            ops.append(("blob", "put_block_list",
+                        ("cont", "bb", [f"missing{i}"]), {"merge": True}))
+        elif kind == 2:
+            offset = (i * 512) % (64 * KB - 512)
+            ops.append(("blob", "put_page",
+                        ("cont", "pb", offset - offset % 512,
+                         payload[:512].ljust(512, b"\0")), {}))
+        elif kind == 3:  # unaligned page write -> error
+            ops.append(("blob", "put_page", ("cont", "pb", 7, payload), {}))
+        elif kind == 4:  # download a blob that may not exist yet
+            ops.append(("blob", "download_block_blob", ("cont", "bb"), {}))
+        elif kind == 5:  # container that was never created -> error
+            ops.append(("blob", "upload_blob", ("nope", "bb", payload), {}))
+        elif kind == 6:
+            ops.append(("queue", "put_message", ("que", payload), {}))
+        elif kind == 7:
+            ops.append(("queue", "get_message", ("que",),
+                        {"visibility_timeout": VIS}))
+        elif kind == 8:  # queue that was never created -> error
+            ops.append(("queue", "put_message", ("ghost", payload), {}))
+        elif kind == 9:  # bogus receipt -> error
+            ops.append(("queue", "delete_message",
+                        ("que", f"id{i}", "bad-receipt"), {}))
+        elif kind == 10:
+            ops.append(("table", "insert",
+                        ("Tab", "p", f"r{i % 20:04d}", {"Data": payload}),
+                        {}))  # duplicates of r#### -> error
+        elif kind == 11:
+            ops.append(("table", "update",
+                        ("Tab", "p", f"r{i % 20:04d}", {"Data": payload}),
+                        {}))  # missing rows -> error
+        elif kind == 12:
+            ops.append(("table", "get", ("Tab", "p", f"r{i % 20:04d}"), {}))
+        elif kind == 13:
+            ops.append(("table", "query_partition", ("Tab", "p"), {}))
+        elif kind == 14:
+            ops.append(("cache", "put", ("hot", f"k{i % 10}", payload), {}))
+        else:
+            ops.append(("cache", "get", ("hot", f"k{i % 10}"), {}))
+    return ops
+
+
+def run_on_sim(ops):
+    env = Environment()
+    account = SimStorageAccount(env, seed=0)
+    outcomes = []
+
+    def driver():
+        clients = {kind: getattr(account, f"{kind}_client")()
+                   for kind in ("blob", "queue", "table", "cache")}
+        for kind, method, args, kwargs in ops:
+            try:
+                yield from getattr(clients[kind], method)(*args, **kwargs)
+            except Exception as exc:
+                outcomes.append(type(exc).__name__)
+            else:
+                outcomes.append(None)
+
+    env.process(driver())
+    env.run()
+    return account.state, account.cache_state, outcomes
+
+
+def run_on_emulator(ops):
+    account = EmulatorAccount(clock=ManualClock())
+    outcomes = []
+    clients = {kind: getattr(account, f"{kind}_client")()
+               for kind in ("blob", "queue", "table", "cache")}
+    for kind, method, args, kwargs in ops:
+        try:
+            getattr(clients[kind], method)(*args, **kwargs)
+        except Exception as exc:
+            outcomes.append(type(exc).__name__)
+        else:
+            outcomes.append(None)
+    return account.state, account.cache_state, outcomes
+
+
+def fingerprint(state, cache_state):
+    cont = state.blobs.get_container("cont")
+    blobs = {}
+    for name in cont.list_blobs():
+        b = cont.get_blob(name)
+        data = b.download() if hasattr(b, "download") else b.read_all()
+        blobs[name] = data.to_bytes()
+    queue = state.queues.get_queue("que")
+    messages = sorted(m.content.to_bytes() for m in queue._messages)
+    table = state.tables.get_table("Tab")
+    entities = {
+        (e.partition_key, e.row_key): e.properties()["Data"]
+        for pk in table.partitions()
+        for e in table.query_partition(pk)
+    }
+    cache = cache_state.get_cache("hot")
+    cached = {key: cache._items[key].value.to_bytes()
+              for key in sorted(cache._items)}
+    return blobs, messages, entities, cached
+
+
+@pytest.mark.parametrize("seed", [11, 29, 47, 83])
+def test_same_state_and_same_errors_on_both_executors(seed):
+    ops = random_op_sequence(seed)
+    sim_state, sim_cache, sim_outcomes = run_on_sim(ops)
+    emu_state, emu_cache, emu_outcomes = run_on_emulator(ops)
+    # some ops must actually have failed for this test to mean anything
+    assert any(o is not None for o in sim_outcomes)
+    assert sim_outcomes == emu_outcomes
+    assert fingerprint(sim_state, sim_cache) == fingerprint(emu_state,
+                                                            emu_cache)

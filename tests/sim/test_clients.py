@@ -5,12 +5,10 @@ import pytest
 from repro.sim import SimStorageAccount, retrying
 from repro.simkit import Environment
 from repro.storage import (
-    KB,
     MB,
     LIMITS_2012,
     ServerBusyError,
-    random_content,
-)
+    )
 from repro.storage.table import BatchOperation
 
 

@@ -6,8 +6,6 @@ from repro.simkit import (
     AllOf,
     AnyOf,
     Environment,
-    Event,
-    Timeout,
 )
 
 

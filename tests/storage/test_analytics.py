@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim import SimStorageAccount, retrying
 from repro.simkit import Environment
-from repro.storage import KB, LIMITS_2012
+from repro.storage import LIMITS_2012
 from repro.storage.analytics import (
     HourlyMetrics,
     MetricsAggregator,

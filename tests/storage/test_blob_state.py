@@ -10,7 +10,6 @@ from repro.storage import (
     ContainerNotFoundError,
     InvalidOperationError,
     InvalidPageRangeError,
-    KB,
     MB,
     ManualClock,
     OutOfRangeError,

@@ -9,7 +9,6 @@ from repro.storage import (
     EntityTooLargeError,
     ETagMismatchError,
     InvalidOperationError,
-    KB,
     MB,
     ManualClock,
     ResourceExistsError,
