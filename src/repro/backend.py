@@ -22,13 +22,15 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from typing import Callable, List
 
 from .compute import Deployment
 from .compute.roles import RoleContext
-from .core.metrics import BenchResult, PhaseRecorder
+from .core.metrics import BenchResult, PhaseRecorder, set_phase_hook
 from .emulator import EmulatorAccount
 from .emulator.clients import _EmulatorClientBase
+from .observability import Tracer, sim_worker_resolver, thread_worker_resolver
 from .pipeline import derive_client_class, locked_local_method, shim_method
 from .sim import SimStorageAccount
 from .simkit import Environment
@@ -37,7 +39,7 @@ __all__ = ["Backend", "SimBackend", "EmulatorBackend", "BACKENDS",
            "get_backend"]
 
 
-def _collect(config, recorders) -> BenchResult:
+def _collect(config, recorders, trace=None) -> BenchResult:
     """Validate worker return values and wrap them up."""
     bad = [r for r in recorders if not isinstance(r, PhaseRecorder)]
     if bad:
@@ -45,7 +47,29 @@ def _collect(config, recorders) -> BenchResult:
             f"{len(bad)} worker(s) did not return a PhaseRecorder "
             f"(first: {bad[0]!r}); check the role body for failures"
         )
-    return BenchResult(config.workers, recorders, label=config.label)
+    return BenchResult(config.workers, recorders, label=config.label,
+                       trace=trace)
+
+
+@contextmanager
+def _maybe_trace(config, account, worker_resolver):
+    """Install a Tracer on the account when ``config.trace`` asks for one.
+
+    The metrics phase hook is global, so it is installed only for the
+    duration of the run (concurrent traced runs in one process would
+    race — benchmark runs are sequential by construction).
+    """
+    if not config.trace:
+        yield None
+        return
+    tracer = Tracer(trace_id=config.label or "run",
+                    worker_resolver=worker_resolver)
+    tracer.install(account)
+    set_phase_hook(tracer.on_phase)
+    try:
+        yield tracer
+    finally:
+        set_phase_hook(None)
 
 
 class Backend:
@@ -82,7 +106,10 @@ class SimBackend(Backend):
             instances=config.workers, vm_size=config.vm_size,
             name="azurebench",
         )
-        return _collect(config, deployment.run())
+        with _maybe_trace(config, account,
+                          sim_worker_resolver(env)) as tracer:
+            recorders = deployment.run()
+        return _collect(config, recorders, trace=tracer)
 
 
 # -- emulator backend --------------------------------------------------------
@@ -235,13 +262,15 @@ class EmulatorBackend(Backend):
                              name=f"azurebench#{i}", daemon=True)
             for i in range(config.workers)
         ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with _maybe_trace(config, account,
+                          thread_worker_resolver()) as tracer:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
         if failures:
             raise failures[0]
-        return _collect(config, results)
+        return _collect(config, results, trace=tracer)
 
 
 BACKENDS = {"sim": SimBackend, "emulator": EmulatorBackend}

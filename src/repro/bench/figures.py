@@ -137,11 +137,14 @@ class FigureRunner:
     """Runs and caches the sweeps behind Figures 4-9."""
 
     def __init__(self, scale: Optional[BenchScale] = None, *,
-                 backend: object = "sim") -> None:
+                 backend: object = "sim", trace: bool = False) -> None:
         self.scale = scale if scale is not None else active_scale()
         #: Which backend runs the sweeps: "sim" (default, seeded DES) or
         #: "emulator" (threaded, wall-clock); see :mod:`repro.backend`.
         self.backend = backend
+        #: Opt-in trace-level observability (:mod:`repro.observability`):
+        #: each sweep run carries a Tracer, reachable via :meth:`traces`.
+        self.trace = trace
         self._blob: Optional[Dict[int, BenchResult]] = None
         self._queue_sep: Optional[Dict[int, BenchResult]] = None
         self._queue_shared: Optional[Dict[int, BenchResult]] = None
@@ -158,7 +161,7 @@ class FigureRunner:
             self._blob = sweep_workers(
                 lambda: blob_bench_body(cfg), self.scale.worker_counts,
                 RunConfig(seed=self.scale.seed, label="fig4/5",
-                          backend=self.backend),
+                          backend=self.backend, trace=self.trace),
             )
         return self._blob
 
@@ -173,7 +176,7 @@ class FigureRunner:
                 lambda: separate_queue_bench_body(cfg),
                 self.scale.worker_counts,
                 RunConfig(seed=self.scale.seed, label="fig6",
-                          backend=self.backend),
+                          backend=self.backend, trace=self.trace),
             )
         return self._queue_sep
 
@@ -188,7 +191,7 @@ class FigureRunner:
                 lambda: shared_queue_bench_body(cfg),
                 self.scale.worker_counts,
                 RunConfig(seed=self.scale.seed, label="fig7",
-                          backend=self.backend),
+                          backend=self.backend, trace=self.trace),
             )
         return self._queue_shared
 
@@ -202,9 +205,27 @@ class FigureRunner:
             self._table = sweep_workers(
                 lambda: table_bench_body(cfg), self.scale.worker_counts,
                 RunConfig(seed=self.scale.seed, label="fig8",
-                          backend=self.backend),
+                          backend=self.backend, trace=self.trace),
             )
         return self._table
+
+    def traces(self) -> List[Tuple[str, int, object]]:
+        """Tracers collected by the sweeps run so far, in sweep order.
+
+        Returns ``[(label, workers, tracer), ...]`` — one entry per traced
+        run (``trace=True``), e.g. ``("fig6@4", 4, <Tracer>)``.  Empty when
+        tracing is off or no sweep has run yet.
+        """
+        out: List[Tuple[str, int, object]] = []
+        for sweep in (self._blob, self._queue_sep,
+                      self._queue_shared, self._table):
+            if not sweep:
+                continue
+            for workers, result in sweep.items():
+                tracer = getattr(result, "trace", None)
+                if tracer is not None:
+                    out.append((result.label, workers, tracer))
+        return out
 
     # -- figures -----------------------------------------------------------
     def figure4(self) -> Tuple[FigureData, FigureData]:

@@ -7,12 +7,14 @@ Usage (also available as ``python -m repro``)::
     python -m repro fig 4                # Figure 4 (a+b)
     python -m repro fig 6 --full         # Figure 6 at paper scale
     python -m repro all --csv out/       # everything, also CSV files
+    python -m repro trace fig6           # Figure 6 + trace artifacts
     python -m repro claims               # the qualitative claims checked
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -67,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd.add_argument("--backend", choices=sorted(BACKENDS),
                          default="sim")
 
+    trace = sub.add_parser(
+        "trace", help="regenerate one figure with tracing enabled and "
+                      "write trace.json / histograms.json / manifest.json")
+    trace.add_argument("figure", metavar="FIGURE",
+                       help='figure to trace: 4-9, "fig6" also accepted')
+    trace.add_argument("--full", action="store_true",
+                       help="paper scale (default: quick scale)")
+    trace.add_argument("--out", metavar="DIR",
+                       help="artifact directory (default: traces/fig<N>)")
+    trace.add_argument("--backend", choices=sorted(BACKENDS), default="sim")
+
     report = sub.add_parser(
         "report", help="full reproduction report (figures + audit + analysis)")
     report.add_argument("--full", action="store_true")
@@ -118,6 +131,69 @@ def _figures_for(runner: FigureRunner, number: str) -> List:
     if number == "8":
         return list(runner.figure8().values())
     return [runner.figure9()]
+
+
+def _write_manifest(path: str, scale, backend, figure: str, *,
+                    trace: bool = False) -> None:
+    """Record run provenance next to CSV/trace artifacts."""
+    from .core.runner import RunConfig
+    from .observability import RunManifest
+
+    config = RunConfig(seed=scale.seed, label=figure, backend=backend,
+                       trace=trace)
+    RunManifest.from_config(
+        config, figure=figure, scale=scale.name,
+        workers=scale.worker_counts,
+    ).write(path)
+
+
+def _run_trace(args) -> int:
+    from .observability import HistogramSet, chrome_trace
+
+    number = args.figure.lower()
+    if number.startswith("fig"):
+        number = number[3:]
+    if number not in ("4", "5", "6", "7", "8", "9"):
+        print(f"unknown figure {args.figure!r}; choose 4-9 (or fig4..fig9)",
+              file=sys.stderr)
+        return 2
+
+    scale = PAPER_SCALE if args.full else QUICK_SCALE
+    runner = FigureRunner(scale, backend=args.backend, trace=True)
+    for fig in _figures_for(runner, number):
+        print(fig.to_text())
+        print()
+
+    out_dir = args.out or os.path.join("traces", f"fig{number}")
+    os.makedirs(out_dir, exist_ok=True)
+    traces = runner.traces()
+
+    # One Chrome trace-event file for the whole sweep: one process per
+    # traced run ("fig6@4", ...), one track per worker role inside it.
+    with open(os.path.join(out_dir, "trace.json"), "w") as f:
+        json.dump(chrome_trace([(label, tracer.buffer)
+                                for label, _, tracer in traces]),
+                  f, sort_keys=True)
+
+    merged = HistogramSet()
+    per_run = {}
+    for label, _, tracer in traces:
+        merged = merged.merge(tracer.histograms)
+        per_run[label] = tracer.histograms.to_dict()
+    with open(os.path.join(out_dir, "histograms.json"), "w") as f:
+        json.dump({"merged": merged.to_dict(), "runs": per_run},
+                  f, indent=2, sort_keys=True)
+
+    _write_manifest(os.path.join(out_dir, "manifest.json"),
+                    scale, args.backend, f"fig{number}", trace=True)
+
+    spans = sum(len(tracer.buffer) for _, _, tracer in traces)
+    dropped = sum(tracer.buffer.dropped for _, _, tracer in traces)
+    note = f" ({dropped} dropped)" if dropped else ""
+    print(f"traced {len(traces)} runs, {spans} spans{note}")
+    for name in ("trace.json", "histograms.json", "manifest.json"):
+        print(f"  wrote {os.path.join(out_dir, name)}")
+    return 0
 
 
 def _run_faults(args) -> int:
@@ -185,14 +261,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     runner = FigureRunner(scale, backend=getattr(args, "backend", "sim"))
     csv_dir = getattr(args, "csv", None)
 
+    if args.command == "trace":
+        return _run_trace(args)
+
     if args.command == "fig":
         for fig in _figures_for(runner, args.number):
             _emit(fig, csv_dir)
+        if csv_dir:
+            _write_manifest(os.path.join(csv_dir, "manifest.json"),
+                            scale, args.backend, f"fig{args.number}")
         return 0
 
     if args.command == "all":
         for fig in runner.all_figures():
             _emit(fig, csv_dir)
+        if csv_dir:
+            _write_manifest(os.path.join(csv_dir, "manifest.json"),
+                            scale, args.backend, "all")
         return 0
 
     if args.command == "report":

@@ -249,7 +249,9 @@ class StorageCluster:
         burn their ``timeout_after`` first, injected latency windows
         stretch the round trip.
         """
-        ctx = OpContext(op=op, backend="sim", started_at=self.env.now)
+        active = self.env.active_process
+        ctx = OpContext(op=op, backend="sim", started_at=self.env.now,
+                        worker=active.name if active is not None else None)
         try:
             self.pipeline.run_before(ctx)
         except Exception as exc:

@@ -14,11 +14,25 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..storage.limits import MB
 
-__all__ = ["PhaseRecord", "PhaseRecorder", "PhaseStats", "BenchResult"]
+__all__ = ["PhaseRecord", "PhaseRecorder", "PhaseStats", "BenchResult",
+           "set_phase_hook"]
+
+#: Optional observer of phase lifecycle events, ``hook(event, name)`` with
+#: ``event`` in {"start", "stop", "span"}.  The tracing layer
+#: (:mod:`repro.observability`) points this at ``Tracer.on_phase`` for the
+#: duration of a traced run so spans can be attributed to benchmark
+#: phases; None (the default) costs one global read per phase boundary.
+_PHASE_HOOK: Optional[Callable[[str, str], None]] = None
+
+
+def set_phase_hook(hook: Optional[Callable[[str, str], None]]) -> None:
+    """Install (or clear, with ``None``) the phase lifecycle observer."""
+    global _PHASE_HOOK
+    _PHASE_HOOK = hook
 
 
 @dataclass
@@ -62,6 +76,8 @@ class PhaseRecorder:
             name=name, worker_id=self.worker_id,
             start=self.env.now, end=self.env.now,
         )
+        if _PHASE_HOOK is not None:
+            _PHASE_HOOK("start", name)
 
     def add_op(self, nbytes: int = 0, ops: int = 1) -> None:
         if self._open is None:
@@ -80,6 +96,8 @@ class PhaseRecorder:
         self._open.end = self.env.now
         record, self._open = self._open, None
         self.records.append(record)
+        if _PHASE_HOOK is not None:
+            _PHASE_HOOK("stop", record.name)
         return record
 
     def record_span(self, name: str, duration: float, *, ops: int = 0,
@@ -93,6 +111,10 @@ class PhaseRecorder:
                              start=end - duration, end=end, ops=ops,
                              nbytes=nbytes, retries=retries)
         self.records.append(record)
+        if _PHASE_HOOK is not None:
+            # Post-hoc phases never had a live window; observers that need
+            # one (span attribution) ignore this event kind.
+            _PHASE_HOOK("span", name)
         return record
 
 
@@ -144,9 +166,12 @@ class BenchResult:
     """All phase timings of one benchmark run at one worker count."""
 
     def __init__(self, workers: int, recorders: Sequence[PhaseRecorder],
-                 *, label: str = "") -> None:
+                 *, label: str = "", trace=None) -> None:
         self.workers = workers
         self.label = label
+        #: The run's :class:`repro.observability.Tracer` when tracing was
+        #: enabled (``RunConfig.trace``), else None.
+        self.trace = trace
         self.records: List[PhaseRecord] = []
         for recorder in recorders:
             self.records.extend(recorder.records)

@@ -29,6 +29,12 @@ class RunConfig:
     #: :data:`repro.backend.BACKENDS` ("sim" / "emulator") or a
     #: :class:`repro.backend.Backend` instance.
     backend: object = "sim"
+    #: Opt-in trace-level observability: the backend installs a
+    #: :class:`repro.observability.Tracer` (one span per storage round
+    #: trip, per-op latency histograms) and attaches it to the returned
+    #: :class:`BenchResult` as ``result.trace``.  Tracing reads only the
+    #: backend clock, so seeded sim runs stay bit-identical.
+    trace: bool = False
 
 
 def run_bench(body_factory: Callable[[], Callable], config: RunConfig) -> BenchResult:

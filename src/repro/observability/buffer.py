@@ -1,0 +1,148 @@
+"""Bounded span storage plus the two on-disk trace formats.
+
+:class:`TraceBuffer` keeps spans in completion order (the order the DES
+or the emulator finished them), bounded so a runaway trace cannot exhaust
+memory: once full, *new* spans are dropped and counted, keeping the
+already-recorded prefix stable for digests.
+
+Exporters:
+
+* :meth:`TraceBuffer.to_jsonl` — one JSON object per line, the raw span
+  schema (``docs/observability.md``).
+* :func:`chrome_trace` / :meth:`TraceBuffer.to_chrome` — Chrome
+  trace-event JSON loadable in Perfetto or ``chrome://tracing``: one
+  process per traced run, one track (thread) per worker role, one
+  complete ("X") event per span.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .span import Span
+
+__all__ = ["TraceBuffer", "chrome_trace"]
+
+
+class TraceBuffer:
+    """Append-only, bounded, in-memory span store."""
+
+    def __init__(self, capacity: Optional[int] = 1_000_000) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.capacity = capacity
+        self._spans: List[Span] = []
+        #: Spans rejected because the buffer was full.
+        self.dropped = 0
+
+    def append(self, span: Span) -> bool:
+        """Record ``span``; False (and counted) if the buffer is full."""
+        if self.capacity is not None and len(self._spans) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._spans.append(span)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    # -- digests -------------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over the ordered span tuples (golden-trace tests).
+
+        Byte-stable: two runs with the same seed, code, and dependency
+        versions produce the same hex digest.
+        """
+        h = hashlib.sha256()
+        for span in self._spans:
+            h.update(repr(span.to_tuple()).encode("utf-8"))
+            h.update(b"\n")
+        return h.hexdigest()
+
+    # -- exports ---------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The raw trace: one sorted-key JSON object per line."""
+        return "\n".join(
+            json.dumps(span.to_dict(), sort_keys=True) for span in self._spans
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as f:
+            text = self.to_jsonl()
+            f.write(text + ("\n" if text else ""))
+
+    def to_chrome(self, *, label: str = "trace", pid: int = 1) -> Dict:
+        """This buffer alone as a Chrome trace-event document."""
+        return chrome_trace([(label, self)], first_pid=pid)
+
+    def write_chrome(self, path: str, *, label: str = "trace") -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_chrome(label=label), f, sort_keys=True)
+
+
+def _span_events(spans: Iterable[Span], pid: int) -> Tuple[List[Dict], List[str]]:
+    """Complete events for one process; workers become tids in first-seen order."""
+    tids: Dict[str, int] = {}
+    events: List[Dict] = []
+    for span in spans:
+        worker = span.worker or "(unattributed)"
+        tid = tids.setdefault(worker, len(tids) + 1)
+        args = {
+            "partition": span.partition,
+            "nbytes": span.nbytes,
+            "status": span.status,
+            "retries": span.retries,
+        }
+        if span.phase is not None:
+            args["phase"] = span.phase
+        if span.server is not None:
+            args["server"] = span.server
+        if span.error:
+            args["error"] = span.error
+            args["error_code"] = span.error_code
+        events.append({
+            "name": f"{span.service}.{span.operation}",
+            "cat": span.service,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            # Chrome trace timestamps are microseconds.
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "args": args,
+        })
+    return events, list(tids)
+
+
+def chrome_trace(runs: Sequence[Tuple[str, "TraceBuffer"]], *,
+                 first_pid: int = 1) -> Dict:
+    """Merge traced runs into one Chrome trace-event document.
+
+    Each ``(label, buffer)`` pair becomes one process (so a whole figure
+    sweep — one traced run per worker count — lands in a single file),
+    with one named track per worker role inside it.
+    """
+    events: List[Dict] = []
+    for offset, (label, buffer) in enumerate(runs):
+        pid = first_pid + offset
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": label},
+        })
+        span_events, workers = _span_events(buffer, pid)
+        for tid, worker in enumerate(workers, start=1):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": worker},
+            })
+        events.extend(span_events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

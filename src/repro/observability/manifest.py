@@ -1,0 +1,79 @@
+"""The run manifest: everything needed to reproduce a figure output.
+
+A figure (or trace) without its seed, calibration, and backend is an
+anecdote.  :class:`RunManifest` captures the full provenance of one run —
+seed(s), the :class:`~repro.core.runner.RunConfig` knobs, the complete
+:class:`~repro.cluster.calibration.FabricCalibration` and
+:class:`~repro.storage.limits.ServiceLimits`, the backend, and the
+package version — as a deterministic JSON document written alongside the
+figure/trace artifacts.  No wall-clock timestamp is recorded on purpose:
+two identical runs must produce byte-identical manifests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["RunManifest"]
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record of one benchmark / figure / trace run."""
+
+    #: What was produced ("fig6", "fig4/5", "all", ...).
+    figure: str
+    #: Benchmark scale name ("quick" / "paper"), "" for ad-hoc runs.
+    scale: str
+    #: Backend name ("sim" / "emulator").
+    backend: str
+    seed: int
+    fifo_jitter_seed: Optional[int]
+    #: Worker counts swept (single-run manifests hold one entry).
+    workers: Tuple[int, ...]
+    vm_size: str
+    #: Whether trace-level observability was enabled.
+    trace: bool
+    package_version: str
+    #: Full FabricCalibration constants, field -> value.
+    calibration: Dict[str, Any] = field(default_factory=dict)
+    #: Full ServiceLimits targets, field -> value.
+    limits: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_config(cls, config, *, figure: str = "", scale: str = "",
+                    workers: Optional[Tuple[int, ...]] = None) -> "RunManifest":
+        """Build a manifest from a :class:`~repro.core.runner.RunConfig`."""
+        from .. import __version__
+
+        backend = config.backend
+        backend_name = backend if isinstance(backend, str) else getattr(
+            backend, "name", type(backend).__name__)
+        return cls(
+            figure=figure,
+            scale=scale,
+            backend=backend_name,
+            seed=config.seed,
+            fifo_jitter_seed=config.fifo_jitter_seed,
+            workers=tuple(workers) if workers is not None else (config.workers,),
+            vm_size=config.vm_size.name,
+            trace=bool(getattr(config, "trace", False)),
+            package_version=__version__,
+            calibration=dataclasses.asdict(config.calibration),
+            limits=dataclasses.asdict(config.limits),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["workers"] = list(self.workers)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json() + "\n")

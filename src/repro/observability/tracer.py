@@ -1,0 +1,212 @@
+"""The tracing stage of the operation pipeline.
+
+:class:`Tracer` is an :class:`~repro.pipeline.interceptors.Interceptor`
+that sits at the *front* of the stack (``trace -> auth -> analytics ->
+faults -> throttles``), so its ``after``/``failed`` hooks see the verdict
+of every stage behind it.  It emits one :class:`~.span.Span` per storage
+round trip into a :class:`~.buffer.TraceBuffer` and feeds a
+:class:`~.histogram.HistogramSet` of per-``service.operation`` latencies.
+
+Determinism contract: the tracer only *reads* the context — the clock
+fields the executor already filled (sim time on the DES backend, account
+clock on the emulator), the descriptor, and the fault/throttle
+annotations.  It never sleeps, never draws randomness, and never touches
+the wall clock on the sim backend, so a traced run is bit-identical to an
+untraced one.
+
+Worker attribution comes from :attr:`OpContext.worker` (set by the
+executors: the active simkit process name on the DES fabric, the thread
+name on the emulator).  Benchmark-phase attribution comes from the
+:func:`repro.core.metrics.set_phase_hook` callback, which the backends
+point at :meth:`Tracer.on_phase` for the duration of a traced run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from ..pipeline.interceptors import Interceptor
+from .buffer import TraceBuffer
+from .histogram import HistogramSet
+from .span import STATUS_ERROR, STATUS_OK, Span
+
+__all__ = [
+    "Tracer",
+    "sim_worker_resolver",
+    "thread_worker_resolver",
+    "phase_totals",
+]
+
+
+def sim_worker_resolver(env) -> Callable[[], str]:
+    """Current worker = the simkit process being resumed."""
+    def resolve() -> str:
+        proc = env.active_process
+        return proc.name if proc is not None else ""
+    return resolve
+
+
+def thread_worker_resolver() -> Callable[[], str]:
+    """Current worker = the current thread (emulator backend)."""
+    def resolve() -> str:
+        return threading.current_thread().name
+    return resolve
+
+
+class Tracer(Interceptor):
+    """Pipeline stage recording one span per storage round trip."""
+
+    name = "trace"
+
+    def __init__(self, *, trace_id: str = "trace",
+                 buffer: Optional[TraceBuffer] = None,
+                 histograms: Optional[HistogramSet] = None,
+                 worker_resolver: Optional[Callable[[], str]] = None) -> None:
+        self.trace_id = trace_id
+        self.buffer = buffer if buffer is not None else TraceBuffer()
+        self.histograms = (histograms if histograms is not None
+                           else HistogramSet())
+        #: Resolves "who is executing right now" for phase bookkeeping;
+        #: defaults to the thread name (correct off the DES fabric).
+        self.worker_resolver = (worker_resolver if worker_resolver is not None
+                                else thread_worker_resolver())
+        self._next_span_id = 0
+        #: Open benchmark phase per worker (fed by the metrics phase hook).
+        self._phases: Dict[str, str] = {}
+        #: Consecutive failed attempts per (worker, service, op, partition).
+        self._failures: Dict[Tuple[str, str, str, str], int] = {}
+        #: Placement model for target-server attribution (sim only).
+        self._cluster = None
+
+    # -- installation ------------------------------------------------------
+    def install(self, target) -> "Tracer":
+        """Hook into ``target``'s pipeline at the front of the stack.
+
+        ``target`` is anything with an operation ``pipeline`` — a
+        :class:`~repro.sim.clients.SimStorageAccount`, an
+        :class:`~repro.emulator.clients.EmulatorAccount`, or a
+        :class:`~repro.cluster.model.StorageCluster`.
+        """
+        pipeline = getattr(target, "pipeline", None)
+        if pipeline is None:
+            raise TypeError(
+                f"Tracer.install needs an object with an operation pipeline; "
+                f"got {target!r}")
+        cluster = getattr(target, "cluster", None)
+        if cluster is None and hasattr(target, "pool_for"):
+            cluster = target  # a bare StorageCluster
+        self._cluster = cluster
+        pipeline.add_first(self)
+        return self
+
+    def uninstall(self, target) -> None:
+        target.pipeline.remove(self)
+
+    # -- phase bookkeeping -------------------------------------------------
+    def on_phase(self, event: str, name: str) -> None:
+        """Target for :func:`repro.core.metrics.set_phase_hook`.
+
+        ``start``/``stop`` bracket a recorded phase for the *current*
+        worker; ``span`` events (post-hoc :meth:`PhaseRecorder.record_span`
+        phases, e.g. Algorithm 4's accumulated timings) carry no live
+        window and are ignored.
+        """
+        worker = self.worker_resolver()
+        if event == "start":
+            self._phases[worker] = name
+        elif event == "stop":
+            self._phases.pop(worker, None)
+
+    def current_phase(self, worker: str) -> Optional[str]:
+        return self._phases.get(worker)
+
+    # -- interceptor hooks -------------------------------------------------
+    def after(self, ctx) -> None:
+        self._record(ctx, STATUS_OK, None)
+
+    def failed(self, ctx, exc: BaseException) -> None:
+        self._record(ctx, STATUS_ERROR, exc)
+
+    def _server_of(self, op) -> Optional[str]:
+        if self._cluster is None:
+            return None
+        pool = self._cluster.pool_for(op.service)
+        # server_key is a pure lookup: attribution must not create servers
+        # (a rejected op never reached one).
+        return f"{pool.name}/{pool.server_key(op.partition)}"
+
+    def _record(self, ctx, status: str, exc: Optional[BaseException]) -> None:
+        op = ctx.op
+        worker = ctx.worker or ""
+        key = (worker, op.service.value, op.kind.value, op.partition)
+        if status == STATUS_OK:
+            retries, self._failures[key] = self._failures.get(key, 0), 0
+            server = self._server_of(op)
+            error = error_code = ""
+        else:
+            retries = self._failures.get(key, 0)
+            self._failures[key] = retries + 1
+            server = None  # the round trip never reached a partition server
+            error = type(exc).__name__
+            error_code = getattr(exc, "error_code", "") or ""
+        span = Span(
+            trace_id=self.trace_id,
+            span_id=self._next_span_id,
+            worker=worker,
+            phase=self._phases.get(worker),
+            backend=ctx.backend,
+            service=op.service.value,
+            operation=op.kind.value,
+            partition=op.partition,
+            server=server,
+            nbytes=op.nbytes,
+            units=op.units,
+            start=ctx.started_at,
+            end=ctx.finished_at,
+            server_latency=ctx.server_latency,
+            latency_factor=ctx.latency_factor,
+            retries=retries,
+            status=status,
+            error=error,
+            error_code=error_code,
+        )
+        self._next_span_id += 1
+        if self.buffer.append(span):
+            self.histograms.observe(span.service, span.operation,
+                                    span.duration)
+
+    # -- convenience reads -------------------------------------------------
+    def digest(self) -> str:
+        return self.buffer.digest()
+
+    @property
+    def spans(self):
+        return self.buffer.spans
+
+
+def phase_totals(spans: Iterable[Span], *,
+                 ops_exclude: frozenset = frozenset()
+                 ) -> Dict[str, Tuple[int, int, int]]:
+    """Per-phase ``(ops, nbytes, retries)`` rollup of a span stream.
+
+    Reconciles traces against :class:`~repro.core.metrics.PhaseRecorder`
+    totals: ``ops``/``nbytes`` count successful spans whose operation is
+    not in ``ops_exclude`` (e.g. the queue benchmark times Get+Delete as
+    one logical op, so ``delete_message`` spans are excluded), and
+    ``retries`` counts failed spans — one per back-off the worker took.
+    Spans outside any phase (barrier traffic, setup) are skipped.
+    """
+    totals: Dict[str, Tuple[int, int, int]] = {}
+    for span in spans:
+        if span.phase is None:
+            continue
+        ops, nbytes, retries = totals.get(span.phase, (0, 0, 0))
+        if span.ok:
+            if span.operation not in ops_exclude:
+                ops += 1
+                nbytes += span.nbytes
+        else:
+            retries += 1
+        totals[span.phase] = (ops, nbytes, retries)
+    return totals

@@ -31,6 +31,10 @@ class OpContext:
     op: OpDescriptor
     #: Which executor is driving: ``"sim"`` or ``"emulator"``.
     backend: str = "sim"
+    #: Worker role the op is attributed to (the active simkit process name
+    #: on the DES fabric, the thread name on the emulator); None when the
+    #: executor could not tell.  Read by the tracing stage.
+    worker: Optional[str] = None
     #: Backend clock reading when the round trip began (sim time or wall
     #: seconds since the emulator account was created).
     started_at: float = 0.0

@@ -18,6 +18,7 @@ An executor owns the *how* of a round trip; the operation bodies in
 
 from __future__ import annotations
 
+import threading
 import time
 
 from .context import OpContext
@@ -63,7 +64,8 @@ class BlockingExecutor:
             desc = next(gen)  # prepare: validation errors raise here
             clock = account.state.clock
             ctx = OpContext(op=desc, backend=self.backend,
-                            started_at=clock.now())
+                            started_at=clock.now(),
+                            worker=threading.current_thread().name)
             try:
                 account.pipeline.run_before(ctx)
                 if ctx.timeout_spec is not None:

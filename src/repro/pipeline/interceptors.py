@@ -12,10 +12,13 @@ hooks:
 * :meth:`~Interceptor.failed` runs in reverse stack order when the
   operation was rejected or timed out, with the terminating error.
 
-The canonical stack order is ``auth -> analytics -> faults -> throttles``
-(then the executor's cost-model/data-plane stage, which is not an
-interceptor: it is the backend itself).  Observers sit early so their
-``after``/``failed`` hooks see the verdicts of everything behind them.
+The canonical stack order is ``trace -> auth -> analytics -> faults ->
+throttles`` (then the executor's cost-model/data-plane stage, which is
+not an interceptor: it is the backend itself).  Observers sit early so
+their ``after``/``failed`` hooks see the verdicts of everything behind
+them; the tracing stage (:class:`repro.observability.Tracer`) sits
+first of all via :meth:`Pipeline.add_first`, so every span records the
+whole stack's verdict.
 """
 
 from __future__ import annotations
@@ -66,6 +69,15 @@ class Pipeline:
                     self._interceptors.insert(i, interceptor)
                     return interceptor
         self._interceptors.append(interceptor)
+        return interceptor
+
+    def add_first(self, interceptor: Interceptor) -> Interceptor:
+        """Insert ``interceptor`` at the very front of the stack.
+
+        Front-of-stack observers (tracing) see every later stage's
+        rejection in ``failed`` and every completion in ``after``.
+        """
+        self._interceptors.insert(0, interceptor)
         return interceptor
 
     def remove(self, interceptor: Interceptor) -> None:
@@ -139,6 +151,7 @@ class AnalyticsInterceptor(Interceptor):
             nbytes=op.nbytes, end_to_end_latency=ctx.elapsed,
             server_latency=ctx.server_latency,
             status_code=201 if op.is_write else 200,
+            is_write=op.is_write,
         ))
 
     def failed(self, ctx: OpContext, exc: BaseException) -> None:
@@ -153,6 +166,7 @@ class AnalyticsInterceptor(Interceptor):
             nbytes=op.nbytes, end_to_end_latency=ctx.elapsed,
             server_latency=0.0,
             status_code=exc.status_code, error_code=exc.error_code,
+            is_write=op.is_write,
         ))
 
 

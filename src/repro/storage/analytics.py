@@ -44,6 +44,8 @@ class RequestRecord:
     server_latency: float
     status_code: int
     error_code: str = ""
+    #: Direction of the payload: writes are account ingress, reads egress.
+    is_write: bool = False
 
     @property
     def ok(self) -> bool:
@@ -109,6 +111,10 @@ class HourlyMetrics:
     total_errors: int = 0
     total_throttles: int = 0
     total_bytes: int = 0
+    #: Payload bytes split by direction (ingress = writes, egress = reads);
+    #: ``total_ingress + total_egress == total_bytes`` always holds.
+    total_ingress: int = 0
+    total_egress: int = 0
     _latency_sum: float = 0.0
     _server_latency_sum: float = 0.0
 
@@ -119,6 +125,10 @@ class HourlyMetrics:
         if record.throttled:
             self.total_throttles += 1
         self.total_bytes += record.nbytes
+        if record.is_write:
+            self.total_ingress += record.nbytes
+        else:
+            self.total_egress += record.nbytes
         self._latency_sum += record.end_to_end_latency
         self._server_latency_sum += record.server_latency
 
@@ -180,6 +190,8 @@ class MetricsAggregator:
                 total.total_errors += cell.total_errors
                 total.total_throttles += cell.total_throttles
                 total.total_bytes += cell.total_bytes
+                total.total_ingress += cell.total_ingress
+                total.total_egress += cell.total_egress
                 total._latency_sum += cell._latency_sum
                 total._server_latency_sum += cell._server_latency_sum
         return total

@@ -1,0 +1,82 @@
+"""Golden-trace regression tests.
+
+A fixed-seed mini queue benchmark must produce a byte-stable span stream:
+the digest over the ordered span tuples is pinned, so any change to op
+ordering, the cost model, or the span schema shows up as a failing test
+(update the constant deliberately when the change is intended).
+"""
+
+import pytest
+
+from repro.core import (
+    RunConfig,
+    SeparateQueueBenchConfig,
+    run_bench,
+    separate_queue_bench_body,
+)
+from repro.storage import KB
+
+#: Digest of the mini run below; re-pin on *intentional* schema/model changes.
+GOLDEN_DIGEST = "d2743af9d2a9b6d02d53517aabbd795acd5226a87e662bc3a1eb90e501ef6b15"
+
+MINI = SeparateQueueBenchConfig(total_messages=8, message_sizes=(4 * KB,))
+
+
+def run_mini(*, trace: bool, workers: int = 2,
+             config: SeparateQueueBenchConfig = MINI):
+    run_config = RunConfig(workers=workers, seed=2012, label="golden",
+                           trace=trace)
+    return run_bench(lambda: separate_queue_bench_body(config), run_config)
+
+
+def test_mini_run_produces_spans():
+    result = run_mini(trace=True)
+    tracer = result.trace
+    assert tracer is not None
+    spans = tracer.spans
+    assert spans, "traced run recorded no spans"
+    # Every span is attributed to a worker role and ordered by span id.
+    assert all(s.worker.startswith("azurebench#") for s in spans)
+    assert [s.span_id for s in spans] == list(range(len(spans)))
+    ops = {s.operation for s in spans}
+    assert {"put_message", "peek_message", "get_message"} <= ops
+
+
+def test_digest_stable_across_runs():
+    first = run_mini(trace=True).trace
+    second = run_mini(trace=True).trace
+    assert len(first.spans) == len(second.spans)
+    assert first.digest() == second.digest()
+
+
+def test_untraced_run_attaches_no_tracer():
+    assert run_mini(trace=False).trace is None
+
+
+def test_tracing_does_not_perturb_results():
+    """The determinism contract: tracing on/off gives identical figures."""
+    traced = run_mini(trace=True)
+    untraced = run_mini(trace=False)
+    assert traced.phase_names() == untraced.phase_names()
+    for name in traced.phase_names():
+        assert traced.phase(name) == untraced.phase(name)
+
+
+def test_golden_digest_pinned():
+    digest = run_mini(trace=True).trace.digest()
+    assert digest == GOLDEN_DIGEST, (
+        f"span stream changed: {digest}\n"
+        f"If this change is intended (schema, cost model, or op ordering), "
+        f"re-pin GOLDEN_DIGEST."
+    )
+
+
+@pytest.mark.slow
+def test_golden_digest_scales_with_workers():
+    """Worker count changes the stream (more spans) but stays deterministic."""
+    cfg = SeparateQueueBenchConfig(total_messages=32,
+                                   message_sizes=(4 * KB, 16 * KB))
+    a = run_mini(trace=True, workers=4, config=cfg).trace
+    b = run_mini(trace=True, workers=4, config=cfg).trace
+    assert a.digest() == b.digest()
+    assert len(a.spans) > len(run_mini(trace=True).trace.spans)

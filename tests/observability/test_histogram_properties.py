@@ -1,0 +1,141 @@
+"""Property tests for the mergeable histograms and the metrics rollups.
+
+The histogram merge laws are what make per-worker / per-run histograms
+safe to combine in any order (the ``repro trace`` exporter merges a whole
+sweep); the ingress/egress invariant is what makes the Storage Analytics
+rollups trustworthy as a byte-accounting source.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import DEFAULT_GROWTH, Histogram, HistogramSet
+from repro.storage.analytics import MetricsAggregator, RequestRecord
+
+latencies = st.lists(
+    st.floats(min_value=0.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    max_size=50,
+)
+
+
+def build(values, growth=DEFAULT_GROWTH):
+    hist = Histogram(growth)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+@given(latencies, latencies, latencies)
+def test_merge_is_associative(a, b, c):
+    ha, hb, hc = build(a), build(b), build(c)
+    assert ha.merge(hb).merge(hc) == ha.merge(hb.merge(hc))
+
+
+@given(latencies, latencies)
+def test_merge_is_commutative(a, b):
+    assert build(a).merge(build(b)) == build(b).merge(build(a))
+
+
+@given(latencies, latencies)
+def test_merge_counts_and_extremes(a, b):
+    merged = build(a).merge(build(b))
+    assert merged.count == len(a) + len(b)
+    observed = a + b
+    if observed:
+        assert merged.min == min(observed)
+        assert merged.max == max(observed)
+    else:
+        assert merged.min is None and merged.max is None
+
+
+@given(latencies.filter(lambda v: len(v) > 0),
+       st.floats(min_value=0.01, max_value=100.0))
+def test_percentiles_bounded_by_observed_extremes(values, q):
+    hist = build(values)
+    p = hist.percentile(q)
+    assert min(values) <= p <= max(values)
+
+
+@given(latencies.filter(lambda v: len(v) > 0))
+def test_percentiles_monotone_in_q(values):
+    hist = build(values)
+    assert hist.p50 <= hist.p90 <= hist.p99
+
+
+def test_merge_rejects_growth_mismatch():
+    with pytest.raises(ValueError):
+        Histogram(2.0).merge(Histogram(4.0))
+
+
+def test_observe_rejects_negative():
+    with pytest.raises(ValueError):
+        Histogram().observe(-0.5)
+
+
+@given(st.lists(st.tuples(latencies, latencies), max_size=5))
+def test_histogram_set_merge_matches_per_key_merge(pairs):
+    left, right = HistogramSet(), HistogramSet()
+    for i, (a, b) in enumerate(pairs):
+        for v in a:
+            left.observe("svc", f"op{i}", v)
+        for v in b:
+            right.observe("svc", f"op{i}", v)
+    merged = left.merge(right)
+    for i, (a, b) in enumerate(pairs):
+        hist = merged.get("svc", f"op{i}")
+        if not a and not b:
+            assert hist is None or hist.count == 0
+        else:
+            assert hist is not None
+            assert hist == build(a).merge(build(b))
+
+
+# -- Storage Analytics byte accounting ----------------------------------------
+
+requests = st.lists(
+    st.tuples(
+        st.sampled_from(["blob", "queue", "table"]),
+        st.sampled_from(["put", "get"]),
+        st.integers(min_value=0, max_value=1_000_000),   # nbytes
+        st.booleans(),                                   # is_write
+        st.floats(min_value=0.0, max_value=100_000.0,    # time
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=60,
+)
+
+
+@settings(deadline=None)
+@given(requests)
+def test_hourly_ingress_egress_equals_payload_sums(reqs):
+    agg = MetricsAggregator()
+    for service, op, nbytes, is_write, time in reqs:
+        agg.observe(RequestRecord(
+            time=time, service=service, operation=op, partition="p",
+            nbytes=nbytes, end_to_end_latency=0.0, server_latency=0.0,
+            status_code=201 if is_write else 200, is_write=is_write,
+        ))
+    for hour in agg.hours():
+        for service in agg.services():
+            cell = agg.cell(hour, service)
+            if cell is None:
+                continue
+            expect_in = sum(
+                n for s, _, n, w, t in reqs
+                if s == service and w and int(t // agg.hour_seconds) == hour)
+            expect_out = sum(
+                n for s, _, n, w, t in reqs
+                if s == service and not w
+                and int(t // agg.hour_seconds) == hour)
+            assert cell.total_ingress == expect_in
+            assert cell.total_egress == expect_out
+            assert cell.total_ingress + cell.total_egress == cell.total_bytes
+    # and the all-hours service totals agree with a direct sum
+    for service in agg.services():
+        totals = agg.service_totals(service)
+        assert totals.total_ingress == sum(
+            n for s, _, n, w, _ in reqs if s == service and w)
+        assert totals.total_egress == sum(
+            n for s, _, n, w, _ in reqs if s == service and not w)
