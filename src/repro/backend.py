@@ -101,6 +101,8 @@ class SimBackend(Backend):
             env, limits=config.limits, calibration=config.calibration,
             seed=config.seed, fifo_jitter_seed=config.fifo_jitter_seed,
         )
+        if config.instrument is not None:
+            config.instrument(account)
         deployment = Deployment(
             env, account, body_factory(),
             instances=config.workers, vm_size=config.vm_size,
@@ -243,6 +245,8 @@ class EmulatorBackend(Backend):
         )
         env = EmulatorEnv(account, self.time_scale)
         shim = ShimAccount(account, env)
+        if config.instrument is not None:
+            config.instrument(shim)
         body = body_factory()
         results: List[object] = [None] * config.workers
         failures: List[BaseException] = []

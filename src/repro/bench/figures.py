@@ -19,9 +19,11 @@ CI; ``PAPER_SCALE`` uses the paper's parameters (AZUREBENCH_FULL=1).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..compute import TABLE_I
 from ..core import (
@@ -49,7 +51,7 @@ from ..core import (
     separate_queue_bench_body,
     shared_phase_name,
     shared_queue_bench_body,
-    sweep_workers,
+    run_bench,
     table_bench_body,
     table_phase_name,
 )
@@ -137,7 +139,9 @@ class FigureRunner:
     """Runs and caches the sweeps behind Figures 4-9."""
 
     def __init__(self, scale: Optional[BenchScale] = None, *,
-                 backend: object = "sim", trace: bool = False) -> None:
+                 backend: object = "sim", trace: bool = False,
+                 checkpoint: Optional[object] = None,
+                 instrument: Optional[Callable] = None) -> None:
         self.scale = scale if scale is not None else active_scale()
         #: Which backend runs the sweeps: "sim" (default, seeded DES) or
         #: "emulator" (threaded, wall-clock); see :mod:`repro.backend`.
@@ -145,10 +149,51 @@ class FigureRunner:
         #: Opt-in trace-level observability (:mod:`repro.observability`):
         #: each sweep run carries a Tracer, reachable via :meth:`traces`.
         self.trace = trace
+        #: Optional run store with ``get(label)``/``put(label, result)``
+        #: (e.g. :class:`repro.chaos.checkpoint.RunCheckpoint`): completed
+        #: ``label@workers`` cells are persisted as they finish and loaded
+        #: instead of re-run, so an interrupted campaign resumes where it
+        #: stopped.  Key it by :meth:`campaign_key`.
+        self.checkpoint = checkpoint
+        #: Optional per-run account hook (``RunConfig.instrument``).
+        self.instrument = instrument
         self._blob: Optional[Dict[int, BenchResult]] = None
         self._queue_sep: Optional[Dict[int, BenchResult]] = None
         self._queue_shared: Optional[Dict[int, BenchResult]] = None
         self._table: Optional[Dict[int, BenchResult]] = None
+
+    def campaign_key(self) -> str:
+        """Fingerprint of everything that shapes the sweep numbers.
+
+        Two runners agree on a campaign key iff their checkpointed cells
+        are interchangeable: same scale (sizes, worker counts, seed) and
+        same backend.  Tracing does not change the numbers (the tracer
+        only reads the clock), so it is deliberately not part of the key.
+        """
+        backend = getattr(self.backend, "name", None) or str(self.backend)
+        payload = json.dumps({"scale": asdict(self.scale),
+                              "backend": backend}, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def _sweep(self, label: str, body_factory) -> Dict[int, BenchResult]:
+        """One worker-count sweep, checkpointing each completed cell."""
+        base = RunConfig(seed=self.scale.seed, label=label,
+                         backend=self.backend, trace=self.trace,
+                         instrument=self.instrument)
+        results: Dict[int, BenchResult] = {}
+        for workers in self.scale.worker_counts:
+            config = replace(base, workers=workers,
+                             label=f"{label}@{workers}")
+            cached = (self.checkpoint.get(config.label)
+                      if self.checkpoint is not None else None)
+            if cached is not None:
+                results[workers] = cached
+                continue
+            result = run_bench(body_factory, config)
+            if self.checkpoint is not None:
+                self.checkpoint.put(config.label, result)
+            results[workers] = result
+        return results
 
     # -- sweeps (cached) -------------------------------------------------
     def blob_sweep(self) -> Dict[int, BenchResult]:
@@ -158,11 +203,7 @@ class FigureRunner:
                 repeats=self.scale.blob_repeats,
                 seed=self.scale.seed,
             )
-            self._blob = sweep_workers(
-                lambda: blob_bench_body(cfg), self.scale.worker_counts,
-                RunConfig(seed=self.scale.seed, label="fig4/5",
-                          backend=self.backend, trace=self.trace),
-            )
+            self._blob = self._sweep("fig4/5", lambda: blob_bench_body(cfg))
         return self._blob
 
     def queue_separate_sweep(self) -> Dict[int, BenchResult]:
@@ -172,12 +213,8 @@ class FigureRunner:
                 message_sizes=self.scale.queue_message_sizes,
                 seed=self.scale.seed,
             )
-            self._queue_sep = sweep_workers(
-                lambda: separate_queue_bench_body(cfg),
-                self.scale.worker_counts,
-                RunConfig(seed=self.scale.seed, label="fig6",
-                          backend=self.backend, trace=self.trace),
-            )
+            self._queue_sep = self._sweep(
+                "fig6", lambda: separate_queue_bench_body(cfg))
         return self._queue_sep
 
     def queue_shared_sweep(self) -> Dict[int, BenchResult]:
@@ -187,12 +224,8 @@ class FigureRunner:
                 think_times=self.scale.shared_think_times,
                 seed=self.scale.seed,
             )
-            self._queue_shared = sweep_workers(
-                lambda: shared_queue_bench_body(cfg),
-                self.scale.worker_counts,
-                RunConfig(seed=self.scale.seed, label="fig7",
-                          backend=self.backend, trace=self.trace),
-            )
+            self._queue_shared = self._sweep(
+                "fig7", lambda: shared_queue_bench_body(cfg))
         return self._queue_shared
 
     def table_sweep(self) -> Dict[int, BenchResult]:
@@ -202,11 +235,8 @@ class FigureRunner:
                 entity_sizes=self.scale.table_entity_sizes,
                 seed=self.scale.seed,
             )
-            self._table = sweep_workers(
-                lambda: table_bench_body(cfg), self.scale.worker_counts,
-                RunConfig(seed=self.scale.seed, label="fig8",
-                          backend=self.backend, trace=self.trace),
-            )
+            self._table = self._sweep(
+                "fig8", lambda: table_bench_body(cfg))
         return self._table
 
     def traces(self) -> List[Tuple[str, int, object]]:

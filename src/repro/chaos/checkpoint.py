@@ -1,0 +1,107 @@
+"""Run checkpoint/resume for figure campaigns.
+
+A :class:`RunCheckpoint` persists every completed benchmark run (one
+``label@workers`` cell of a sweep) to a JSON file the moment it
+finishes, atomically.  A driver killed mid-campaign resumes by handing
+the same checkpoint to a fresh :class:`~repro.bench.figures.FigureRunner`:
+completed cells load from disk, the interrupted cell and everything
+after it re-run — and because seeded sim runs are deterministic, the
+resumed campaign's figures are identical to an uninterrupted one's
+(pinned by ``tests/chaos/test_checkpoint.py``).
+
+The file is keyed by a fingerprint of the campaign parameters (scale,
+backend, trace flag).  Loading a checkpoint written under different
+parameters raises — mixing cells from different campaigns would produce
+silently wrong figures.
+
+Live ``Tracer`` objects are not serialized: restored results carry
+``trace=None``.  Checkpoint figure campaigns that need traces must
+re-run (tracing is for diagnosis, the CSVs don't read it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from ..core.metrics import BenchResult, PhaseRecord
+
+__all__ = ["RunCheckpoint"]
+
+_VERSION = 1
+
+_RECORD_FIELDS = ("name", "worker_id", "start", "end", "ops", "nbytes",
+                  "retries")
+
+
+class RunCheckpoint:
+    """Append-only store of completed benchmark runs, one JSON file."""
+
+    def __init__(self, path: str, campaign_key: str) -> None:
+        self.path = str(path)
+        self.campaign_key = campaign_key
+        self._runs: Dict[str, dict] = {}
+        if os.path.exists(self.path):
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"checkpoint {self.path!r} has version "
+                f"{data.get('version')!r}, expected {_VERSION}")
+        if data.get("campaign_key") != self.campaign_key:
+            raise ValueError(
+                f"checkpoint {self.path!r} belongs to campaign "
+                f"{data.get('campaign_key')!r}, not {self.campaign_key!r}; "
+                f"refusing to mix cells across campaigns")
+        self._runs = dict(data.get("runs", {}))
+
+    def _flush(self) -> None:
+        payload = {
+            "version": _VERSION,
+            "campaign_key": self.campaign_key,
+            "runs": self._runs,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".checkpoint-",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path)  # atomic: never a torn checkpoint
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- the store ---------------------------------------------------------
+    def labels(self) -> List[str]:
+        return sorted(self._runs)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._runs
+
+    def get(self, label: str) -> Optional[BenchResult]:
+        """The completed run stored under ``label``, or None."""
+        entry = self._runs.get(label)
+        if entry is None:
+            return None
+        records = [PhaseRecord(**rec) for rec in entry["records"]]
+        return BenchResult.from_records(entry["workers"], records,
+                                        label=entry["label"])
+
+    def put(self, label: str, result: BenchResult) -> None:
+        """Store a completed run and flush to disk immediately."""
+        self._runs[label] = {
+            "label": result.label,
+            "workers": result.workers,
+            "records": [
+                {f: getattr(rec, f) for f in _RECORD_FIELDS}
+                for rec in result.records
+            ],
+        }
+        self._flush()

@@ -9,6 +9,12 @@ Usage (also available as ``python -m repro``)::
     python -m repro all --csv out/       # everything, also CSV files
     python -m repro trace fig6           # Figure 6 + trace artifacts
     python -m repro claims               # the qualitative claims checked
+    python -m repro chaos fig6 --profile queue-storm --seed 7
+    python -m repro chaos taskpool --profile lossy-queue --crashes 2
+
+Exit codes are documented in ``docs/cli.md``: 0 success, 1 a run
+completed but failed its checks (audit mismatch, chaos violation,
+incomplete fault run, dropped spans), 2 bad usage.
 """
 
 from __future__ import annotations
@@ -62,12 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--backend", choices=sorted(BACKENDS), default="sim",
                      help="run the sweeps on the seeded DES fabric (sim, "
                           "default) or on the threaded emulator")
+    fig.add_argument("--checkpoint", metavar="FILE",
+                     help="persist each completed sweep cell to FILE and "
+                          "resume from it (kill-safe figure campaigns)")
 
     all_cmd = sub.add_parser("all", help="regenerate every table and figure")
     all_cmd.add_argument("--full", action="store_true")
     all_cmd.add_argument("--csv", metavar="DIR")
     all_cmd.add_argument("--backend", choices=sorted(BACKENDS),
                          default="sim")
+    all_cmd.add_argument("--checkpoint", metavar="FILE",
+                         help="persist each completed sweep cell to FILE "
+                              "and resume from it")
 
     trace = sub.add_parser(
         "trace", help="regenerate one figure with tracing enabled and "
@@ -104,6 +116,38 @@ def build_parser() -> argparse.ArgumentParser:
     frun.add_argument("--seed", type=int, default=31)
     frun.add_argument("--trace", action="store_true",
                       help="also print the injected-fault event trace")
+
+    chaos = sub.add_parser(
+        "chaos", help="chaos conformance harness: run a figure workload "
+                      "(or the bag-of-tasks app) under a seeded fault "
+                      "schedule and check the conservation, integrity, "
+                      "and termination invariants")
+    chaos.add_argument("figure", metavar="WORKLOAD",
+                       help='figure to stress: 4-9 ("fig6" also accepted), '
+                            'or "taskpool" for the bag-of-tasks app with '
+                            'worker-role crash/restart chaos')
+    chaos.add_argument("--profile", default="none",
+                       help="fault profile (see 'faults list'; "
+                            "default: none)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="schedule seed (jitter, crash times, fault "
+                            "draws)")
+    chaos.add_argument("--out", metavar="FILE",
+                       help="also write the verdict JSON to FILE")
+    chaos.add_argument("--retry-budget", type=int, default=64,
+                       help="max per-op retries the termination checker "
+                            "tolerates (default 64)")
+    chaos.add_argument("--self-test-splice", action="store_true",
+                       help="after a clean run, splice a synthetic silent "
+                            "message drop into the history; the checker "
+                            "must flag it (verifies the harness can "
+                            "actually detect loss)")
+    chaos.add_argument("--crashes", type=int, default=2,
+                       help="worker-role crash events (taskpool only)")
+    chaos.add_argument("--tasks", type=int, default=16,
+                       help="bag-of-tasks size (taskpool only)")
+    chaos.add_argument("--workers", type=int, default=4,
+                       help="worker role instances (taskpool only)")
 
     return parser
 
@@ -193,6 +237,10 @@ def _run_trace(args) -> int:
     print(f"traced {len(traces)} runs, {spans} spans{note}")
     for name in ("trace.json", "histograms.json", "manifest.json"):
         print(f"  wrote {os.path.join(out_dir, name)}")
+    if dropped:
+        print(f"error: {dropped} spans dropped (buffer capacity); the "
+              f"trace artifacts are incomplete", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -236,7 +284,43 @@ def _run_faults(args) -> int:
         for event in result["trace"]:
             print(f"  t={event[0]:<10.3f} {event[1]:<18s} "
                   f"{event[2]:<6s} {event[3]}")
+    if not result["completed"]:
+        print("error: the bag of tasks did not run to completion "
+              "within the horizon", file=sys.stderr)
+        return 1
     return 0
+
+
+def _run_chaos(args) -> int:
+    from .chaos import run_chaos, run_chaos_taskpool
+
+    name = args.figure.lower()
+    try:
+        if name == "taskpool":
+            verdict = run_chaos_taskpool(
+                args.profile, args.seed, crashes=args.crashes,
+                tasks=args.tasks, workers=args.workers,
+                retry_budget=args.retry_budget)
+        else:
+            if not name.startswith("fig"):
+                name = f"fig{name}"
+            verdict = run_chaos(
+                name, args.profile, args.seed,
+                retry_budget=args.retry_budget,
+                splice=args.self_test_splice)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    text = verdict.to_json()
+    print(text)
+    if args.out:
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+    print(verdict.summary(), file=sys.stderr)
+    return 0 if verdict.passed else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -257,8 +341,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(figure_table1().to_text())
         return 0
 
+    if args.command == "chaos":
+        return _run_chaos(args)
+
     scale = PAPER_SCALE if getattr(args, "full", False) else QUICK_SCALE
     runner = FigureRunner(scale, backend=getattr(args, "backend", "sim"))
+    if getattr(args, "checkpoint", None):
+        from .chaos import RunCheckpoint
+        runner.checkpoint = RunCheckpoint(args.checkpoint,
+                                          runner.campaign_key())
     csv_dir = getattr(args, "csv", None)
 
     if args.command == "trace":

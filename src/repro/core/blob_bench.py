@@ -100,10 +100,11 @@ def blob_bench_body(config: BlobBenchConfig):
 
         # Setup (untimed): container, page blob, barrier queue.
         yield from barrier.ensure_queue()
-        yield from blob.create_container(config.container)
+        yield from retrying(env, lambda: blob.create_container(
+            config.container))
         if ctx.role_id == 0:
-            yield from blob.create_page_blob(
-                config.container, config.page_blob, config.blob_bytes)
+            yield from retrying(env, lambda: blob.create_page_blob(
+                config.container, config.page_blob, config.blob_bytes))
         yield from barrier.wait()
 
         mine = _chunks_for_worker(config.total_chunks, ctx.instance_count,
@@ -189,10 +190,12 @@ def blob_bench_body(config: BlobBenchConfig):
             # Cleanup between repeats (worker 0, untimed): delete and
             # recreate the blobs, as Algorithm 1's trailing Delete calls do.
             if ctx.role_id == 0 and repeat + 1 < config.repeats:
-                yield from blob.delete_blob(config.container, config.block_blob)
-                yield from blob.delete_blob(config.container, config.page_blob)
-                yield from blob.create_page_blob(
-                    config.container, config.page_blob, config.blob_bytes)
+                yield from retrying(env, lambda: blob.delete_blob(
+                    config.container, config.block_blob))
+                yield from retrying(env, lambda: blob.delete_blob(
+                    config.container, config.page_blob))
+                yield from retrying(env, lambda: blob.create_page_blob(
+                    config.container, config.page_blob, config.blob_bytes))
             yield from barrier.wait()
 
         return rec

@@ -179,6 +179,20 @@ class BenchResult:
         for record in self.records:
             self._by_phase.setdefault(record.name, []).append(record)
 
+    @classmethod
+    def from_records(cls, workers: int, records: Sequence[PhaseRecord],
+                     *, label: str = "") -> "BenchResult":
+        """Rebuild a result from flat phase records (checkpoint restore).
+
+        The live ``trace`` object is not reconstructible from records, so
+        restored results carry ``trace=None``.
+        """
+        result = cls(workers, (), label=label)
+        result.records = list(records)
+        for record in result.records:
+            result._by_phase.setdefault(record.name, []).append(record)
+        return result
+
     def phase_names(self) -> List[str]:
         return list(self._by_phase)
 

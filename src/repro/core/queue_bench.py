@@ -80,7 +80,7 @@ def separate_queue_bench_body(config: SeparateQueueBenchConfig):
 
         # "QueueName := AzureBenchQueue + roleid"
         queue_name = f"{config.queue_prefix}{ctx.role_id}"
-        yield from qc.create_queue(queue_name)
+        yield from retrying(env, lambda: qc.create_queue(queue_name))
         per_worker = max(1, config.total_messages // ctx.instance_count)
         yield from barrier.wait()
 
@@ -121,7 +121,7 @@ def separate_queue_bench_body(config: SeparateQueueBenchConfig):
 
             yield from barrier.wait()
 
-        yield from qc.delete_queue(queue_name)
+        yield from retrying(env, lambda: qc.delete_queue(queue_name))
         return rec
 
     return body
@@ -168,7 +168,7 @@ def shared_queue_bench_body(config: SharedQueueBenchConfig):
         barrier = QueueBarrier(qc, config.barrier_queue, ctx.instance_count,
                                poll_interval=config.barrier_poll, env=env)
         yield from barrier.ensure_queue()
-        yield from qc.create_queue(config.queue_name)
+        yield from retrying(env, lambda: qc.create_queue(config.queue_name))
 
         payload_bytes = usable_payload(config.message_size)
         payload = SyntheticContent(payload_bytes, seed=config.seed)
@@ -221,7 +221,8 @@ def shared_queue_bench_body(config: SharedQueueBenchConfig):
             yield from barrier.wait()
 
         if ctx.role_id == 0:
-            yield from qc.delete_queue(config.queue_name)
+            yield from retrying(env, lambda: qc.delete_queue(
+                config.queue_name))
         return rec
 
     return body

@@ -35,6 +35,13 @@ class RunConfig:
     #: :class:`BenchResult` as ``result.trace``.  Tracing reads only the
     #: backend clock, so seeded sim runs stay bit-identical.
     trace: bool = False
+    #: Optional hook called with the freshly built account before any
+    #: worker runs (and before the tracer installs, so a fault plan set
+    #: here is picked up for span attribution).  The chaos harness uses
+    #: it to set fault plans, attach analytics, and install its
+    #: operation-history audit.  The hook must not advance the clock or
+    #: draw randomness if seeded reproducibility matters.
+    instrument: Optional[Callable] = None
 
 
 def run_bench(body_factory: Callable[[], Callable], config: RunConfig) -> BenchResult:

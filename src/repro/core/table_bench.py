@@ -82,7 +82,7 @@ def table_bench_body(config: TableBenchConfig):
                                poll_interval=config.barrier_poll, env=env)
         yield from barrier.ensure_queue()
 
-        yield from tc.create_table(config.table_name)
+        yield from retrying(env, lambda: tc.create_table(config.table_name))
         if config.partition_strategy == "per-worker":
             # "Entity.partitionKey = roleId" — one partition per worker.
             partition = f"worker-{ctx.role_id}"

@@ -46,6 +46,10 @@ class FaultPlan:
         self.counts: Dict[FaultKind, int] = {}
         #: PARTITION_CRASH specs whose failover (reassignment) completed.
         self._reassigned: Set[int] = set()
+        #: Synchronous observers of injected faults, ``listener(event)``.
+        #: The tracing layer subscribes here to attribute injected
+        #: anomalies on the span they hit (``Span.fault``).
+        self._listeners: List[callable] = []
         for spec in specs:
             self.add(spec)
 
@@ -72,8 +76,24 @@ class FaultPlan:
 
     def _record(self, kind: FaultKind, service: str, partition: str,
                 now: float) -> None:
-        self.events.append(FaultEvent(now, kind, str(service), partition))
+        event = FaultEvent(now, kind, str(service), partition)
+        self.events.append(event)
         self.counts[kind] = self.counts.get(kind, 0) + 1
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(event)``, called at each injection (idempotent).
+
+        Listeners observe; they must not raise or draw randomness — the
+        plan's event sequence is part of the determinism contract.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def trace(self) -> List[tuple]:
         """The event trace as plain tuples (stable, diffable)."""

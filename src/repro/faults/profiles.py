@@ -93,6 +93,42 @@ PROFILES: Dict[str, FaultProfile] = {p.name: p for p in (
                    retry_after=1.0),),
     ),
     FaultProfile(
+        "queue-storm",
+        "queue-heavy chaos for the Fig 6 workload: a 503 throttle window, "
+        "background 500s, plus message loss and duplicate delivery on the "
+        "per-worker benchmark queues (the barrier queue is exempt so the "
+        "synchronization protocol cannot deadlock)",
+        (FaultSpec(kind=FaultKind.THROTTLE, service="queue",
+                   start=1.0, duration=15.0, probability=0.3,
+                   retry_after=1.0),
+         FaultSpec(kind=FaultKind.TRANSIENT_ERROR, service="queue",
+                   probability=0.05, retry_after=1.0))
+        # Data-plane anomalies scoped to the benchmark queues
+        # ("azurebenchqueue" + role id, first 8 workers) — never the
+        # barrier queue: a lost barrier message would hang the run by
+        # protocol design, not by a platform bug.
+        + tuple(
+            FaultSpec(kind=kind, service="queue",
+                      partition=f"azurebenchqueue{i}", probability=0.08)
+            for kind in (FaultKind.MESSAGE_LOSS,
+                         FaultKind.DUPLICATE_DELIVERY)
+            for i in range(8)
+        ),
+    ),
+    FaultProfile(
+        "table-storm",
+        "table-heavy chaos for the Fig 8 workload: a 503 throttle window, "
+        "background 500s, and a burst of 2 s timeouts on the table service",
+        (FaultSpec(kind=FaultKind.THROTTLE, service="table",
+                   start=1.0, duration=15.0, probability=0.3,
+                   retry_after=1.0),
+         FaultSpec(kind=FaultKind.TRANSIENT_ERROR, service="table",
+                   probability=0.05, retry_after=1.0),
+         FaultSpec(kind=FaultKind.TIMEOUT, service="table", start=2.0,
+                   duration=10.0, probability=0.05, timeout_after=2.0,
+                   retry_after=1.0)),
+    ),
+    FaultProfile(
         "lossy-queue",
         "task-queue puts lose their payload 10% of the time and gotten "
         "messages are duplicated 10% of the time for 30 s",

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..sim.retry import retrying
+
 __all__ = ["QueueBarrier"]
 
 
@@ -45,9 +47,17 @@ class QueueBarrier:
         #: Simulated seconds this worker has spent inside barriers.
         self.time_in_barrier = 0.0
 
+    def _retry(self, op_factory):
+        """The paper's sleep-and-retry discipline for barrier traffic: a
+        throttled or flaky sync op must delay the barrier, never crash the
+        worker mid-protocol (a crashed worker would deadlock the others)."""
+        result = yield from retrying(self._env, op_factory)
+        return result
+
     def ensure_queue(self):
         """Create the barrier queue (any worker may call; idempotent)."""
-        yield from self._client.create_queue(self.queue_name)
+        yield from self._retry(lambda: self._client.create_queue(
+            self.queue_name))
 
     def wait(self, sync_count: Optional[int] = None):
         """Enter the barrier and block until all workers have arrived.
@@ -66,12 +76,13 @@ class QueueBarrier:
         start = self._env.now
         # Announce arrival. The message must outlive long barriers, so rely
         # on the era's maximum TTL (7 days) rather than a custom one.
-        yield from self._client.put_message(
+        yield from self._retry(lambda: self._client.put_message(
             self.queue_name, f"sync-{sync_count}".encode()
-        )
+        ))
         target = self.workers * sync_count
         while True:
-            arrived = yield from self._client.get_message_count(self.queue_name)
+            arrived = yield from self._retry(
+                lambda: self._client.get_message_count(self.queue_name))
             if arrived >= target:
                 break
             yield self._env.timeout(self.poll_interval)

@@ -48,6 +48,17 @@ class TraceBuffer:
     def __len__(self) -> int:
         return len(self._spans)
 
+    def replace_last(self, span: Span) -> None:
+        """Swap the most recent span (post-hoc fault attribution).
+
+        The data-plane fault hooks (injected message loss / duplicate
+        delivery) fire at the *apply* instant, after the span for the
+        round trip was already recorded; the tracer rewrites that last
+        span with its fault verdict.  No-op on an empty buffer.
+        """
+        if self._spans:
+            self._spans[-1] = span
+
     def __iter__(self) -> Iterator[Span]:
         return iter(self._spans)
 

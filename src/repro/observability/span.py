@@ -62,6 +62,11 @@ class Span:
     #: Error class name ("ServerBusyError") and protocol code, if failed.
     error: str = ""
     error_code: str = ""
+    #: Fault verdict: comma-joined kinds of the injected faults that hit
+    #: this round trip ("message_loss", "duplicate_delivery", "outage",
+    #: ...), or "" when nothing was injected.  Lets a history checker
+    #: distinguish injected anomalies from genuine bugs.
+    fault: str = ""
 
     @property
     def duration(self) -> float:
@@ -71,15 +76,26 @@ class Span:
     def ok(self) -> bool:
         return self.status == STATUS_OK
 
+    @property
+    def faults(self) -> Tuple[str, ...]:
+        """The injected fault kinds as a tuple ("" splits to empty)."""
+        return tuple(self.fault.split(",")) if self.fault else ()
+
     def to_tuple(self) -> Tuple:
-        """The ordered, digest-stable projection of this span."""
-        return (
+        """The ordered, digest-stable projection of this span.
+
+        The fault verdict is appended only when set, so fault-free runs
+        keep the digests pinned before the field existed (chaos off ==
+        bit-identical golden traces).
+        """
+        base = (
             self.span_id, self.worker, self.phase, self.backend,
             self.service, self.operation, self.partition, self.server,
             self.nbytes, self.units, self.start, self.end,
             self.server_latency, self.latency_factor, self.retries,
             self.status, self.error, self.error_code,
         )
+        return base + (self.fault,) if self.fault else base
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready mapping (one JSONL line of a trace export)."""
@@ -104,4 +120,5 @@ class Span:
             "status": self.status,
             "error": self.error,
             "error_code": self.error_code,
+            "fault": self.fault,
         }

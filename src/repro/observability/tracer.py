@@ -24,7 +24,8 @@ point at :meth:`Tracer.on_phase` for the duration of a traced run.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..pipeline.interceptors import Interceptor
 from .buffer import TraceBuffer
@@ -78,6 +79,9 @@ class Tracer(Interceptor):
         self._failures: Dict[Tuple[str, str, str, str], int] = {}
         #: Placement model for target-server attribution (sim only).
         self._cluster = None
+        #: Injected-fault kinds awaiting the next span (pre-execute faults
+        #: fire before the span is recorded; see :meth:`attach_fault_plan`).
+        self._pending_faults: List[str] = []
 
     # -- installation ------------------------------------------------------
     def install(self, target) -> "Tracer":
@@ -98,10 +102,44 @@ class Tracer(Interceptor):
             cluster = target  # a bare StorageCluster
         self._cluster = cluster
         pipeline.add_first(self)
+        # Fault attribution: when a plan is already set, subscribe so
+        # injected anomalies land on the spans they hit.
+        plan_owner = cluster if cluster is not None else target
+        plan = getattr(plan_owner, "fault_plan", None)
+        if plan is not None:
+            self.attach_fault_plan(plan)
         return self
 
     def uninstall(self, target) -> None:
         target.pipeline.remove(self)
+
+    def attach_fault_plan(self, plan) -> "Tracer":
+        """Record injected-fault verdicts on the spans they hit.
+
+        Pre-execute faults (outage, throttle, transient, timeout,
+        partition crash) fire *before* the round trip's span exists, so
+        their kinds are parked and drained into the next recorded span —
+        always the failing round trip, since every such fault terminates
+        its op.  Data-plane faults (message loss, duplicate delivery)
+        fire at the apply instant, *after* the span was recorded, so the
+        last span is rewritten in place.
+        """
+        plan.subscribe(self._on_fault_event)
+        return self
+
+    #: Fault kinds injected during apply, after the span was recorded.
+    _APPLY_STAGE_FAULTS = frozenset({"message_loss", "duplicate_delivery"})
+
+    def _on_fault_event(self, event) -> None:
+        kind = event.kind.value
+        if kind in self._APPLY_STAGE_FAULTS:
+            spans = self.buffer._spans
+            if spans:
+                last = spans[-1]
+                joined = f"{last.fault},{kind}" if last.fault else kind
+                self.buffer.replace_last(replace(last, fault=joined))
+        else:
+            self._pending_faults.append(kind)
 
     # -- phase bookkeeping -------------------------------------------------
     def on_phase(self, event: str, name: str) -> None:
@@ -170,7 +208,9 @@ class Tracer(Interceptor):
             status=status,
             error=error,
             error_code=error_code,
+            fault=",".join(self._pending_faults),
         )
+        self._pending_faults.clear()
         self._next_span_id += 1
         if self.buffer.append(span):
             self.histograms.observe(span.service, span.operation,

@@ -1,0 +1,107 @@
+"""Run checkpoint/resume: interrupted figure campaigns finish identically.
+
+The determinism contract makes this checkable to the byte: a campaign
+killed between sweep cells and resumed from its checkpoint must emit
+exactly the CSVs an uninterrupted campaign would have.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.figures import BenchScale, FigureRunner
+from repro.chaos import RunCheckpoint
+from repro.storage import KB
+
+SCALE = BenchScale(
+    name="ckpt", worker_counts=(1, 2), blob_total_chunks=4, blob_repeats=1,
+    queue_total_messages=16, queue_message_sizes=(4 * KB,),
+    shared_total_transactions=16, shared_think_times=(1.0,),
+    table_entity_count=8, table_entity_sizes=(4 * KB,), seed=2012)
+
+
+def fig6_csv(runner: FigureRunner) -> str:
+    return "\n\n".join(fd.to_csv() for fd in runner.figure6().values())
+
+
+@pytest.fixture()
+def baseline():
+    return fig6_csv(FigureRunner(scale=SCALE))
+
+
+def checkpoint_at(tmp_path) -> str:
+    return os.path.join(str(tmp_path), "campaign.json")
+
+
+def test_cells_persist_as_they_complete(tmp_path, baseline):
+    path = checkpoint_at(tmp_path)
+    runner = FigureRunner(scale=SCALE)
+    runner.checkpoint = RunCheckpoint(path, runner.campaign_key())
+    fig6_csv(runner)
+    stored = RunCheckpoint(path, runner.campaign_key())
+    assert stored.labels() == ["fig6@1", "fig6@2"]
+    assert "fig6@1" in stored
+    assert stored.get("nope") is None
+
+
+def test_full_resume_reproduces_identical_csv(tmp_path, baseline):
+    path = checkpoint_at(tmp_path)
+    first = FigureRunner(scale=SCALE)
+    first.checkpoint = RunCheckpoint(path, first.campaign_key())
+    fig6_csv(first)
+    # A fresh runner (fresh process, conceptually) resumes purely from
+    # disk: every cell restores, no benchmark re-runs, same bytes out.
+    resumed = FigureRunner(scale=SCALE)
+    resumed.checkpoint = RunCheckpoint(path, resumed.campaign_key())
+    assert fig6_csv(resumed) == baseline
+
+
+def test_interrupted_campaign_resumes_mid_sweep(tmp_path, baseline):
+    """Kill after the first cell: resume re-runs only the missing cell."""
+    path = checkpoint_at(tmp_path)
+    runner = FigureRunner(scale=SCALE)
+    key = runner.campaign_key()
+    runner.checkpoint = RunCheckpoint(path, key)
+    fig6_csv(runner)
+    # Simulate the interruption by dropping the second cell from disk.
+    store = RunCheckpoint(path, key)
+    store._runs.pop("fig6@2")
+    store._flush()
+    resumed = FigureRunner(scale=SCALE)
+    resumed.checkpoint = RunCheckpoint(path, key)
+    assert fig6_csv(resumed) == baseline
+    assert RunCheckpoint(path, key).labels() == ["fig6@1", "fig6@2"]
+
+
+def test_checkpoint_refuses_foreign_campaigns(tmp_path):
+    path = checkpoint_at(tmp_path)
+    runner = FigureRunner(scale=SCALE)
+    RunCheckpoint(path, runner.campaign_key()).put(
+        "fig6@1", runner.queue_separate_sweep()[1])
+    with pytest.raises(ValueError, match="campaign"):
+        RunCheckpoint(path, "someone-elses-key")
+
+
+def test_campaign_key_tracks_scale_and_backend():
+    a = FigureRunner(scale=SCALE)
+    b = FigureRunner(scale=SCALE)
+    assert a.campaign_key() == b.campaign_key()
+    other_scale = BenchScale(**{**SCALE.__dict__, "seed": 2013})
+    assert FigureRunner(scale=other_scale).campaign_key() != a.campaign_key()
+    assert FigureRunner(scale=SCALE,
+                        backend="emulator").campaign_key() != a.campaign_key()
+    # Tracing never changes the numbers, so it shares the campaign.
+    assert FigureRunner(scale=SCALE, trace=True).campaign_key() == \
+        a.campaign_key()
+
+
+def test_restored_results_carry_no_tracer(tmp_path):
+    path = checkpoint_at(tmp_path)
+    runner = FigureRunner(scale=SCALE, trace=True)
+    key = runner.campaign_key()
+    runner.checkpoint = RunCheckpoint(path, key)
+    runner.queue_separate_sweep()
+    restored = RunCheckpoint(path, key).get("fig6@1")
+    assert restored is not None
+    assert restored.trace is None
+    assert restored.workers == 1

@@ -1,0 +1,138 @@
+"""Exit-code contract of the chaos/faults CLI surface.
+
+The runs themselves are covered by the runner tests; here the harness
+functions are monkeypatched with canned outcomes so the wiring — exit
+codes, JSON emission, ``--out`` files, stderr summaries — is tested in
+milliseconds.  The contract (documented in docs/cli.md): 0 success,
+1 completed-but-failed-checks, 2 bad usage.
+"""
+
+import json
+
+import repro.chaos as chaos
+import repro.faults.profiles as profiles
+from repro.chaos.invariants import Violation
+from repro.chaos.verdict import ChaosVerdict
+from repro.cli import build_parser, main
+
+
+def passing_verdict(workload="fig6"):
+    return ChaosVerdict(workload=workload, profile="queue-storm", seed=7,
+                        runs=[f"{workload}:queue_sep@2"],
+                        counts={"runs": 1, "faults_injected": 3})
+
+
+def failing_verdict(workload="fig6"):
+    verdict = passing_verdict(workload)
+    verdict.violations.append(
+        Violation("queue-conservation", "1 acked put(s) vanished"))
+    return verdict
+
+
+class TestChaosParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos", "fig6"])
+        assert args.figure == "fig6" and args.profile == "none"
+        assert args.seed == 0 and not args.self_test_splice
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "taskpool", "--profile", "queue-storm", "--seed", "7",
+             "--crashes", "3", "--retry-budget", "9", "--out", "v.json"])
+        assert args.crashes == 3 and args.retry_budget == 9
+        assert args.out == "v.json"
+
+
+class TestChaosExitCodes:
+    def test_pass_exits_zero_and_emits_json(self, monkeypatch, capsys):
+        monkeypatch.setattr(chaos, "run_chaos",
+                            lambda *a, **k: passing_verdict())
+        assert main(["chaos", "fig6", "--profile", "queue-storm",
+                     "--seed", "7"]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)
+        assert data["passed"] is True and data["workload"] == "fig6"
+        assert "PASS" in captured.err
+
+    def test_violation_exits_one(self, monkeypatch, capsys):
+        monkeypatch.setattr(chaos, "run_chaos",
+                            lambda *a, **k: failing_verdict())
+        assert main(["chaos", "6"]) == 1
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["passed"] is False
+        assert "FAIL" in captured.err
+
+    def test_bare_number_maps_to_figure(self, monkeypatch):
+        seen = {}
+
+        def fake(name, profile, seed, **kwargs):
+            seen["name"] = name
+            return passing_verdict(name)
+
+        monkeypatch.setattr(chaos, "run_chaos", fake)
+        assert main(["chaos", "8"]) == 0
+        assert seen["name"] == "fig8"
+
+    def test_taskpool_routes_to_crash_harness(self, monkeypatch):
+        seen = {}
+
+        def fake(profile, seed, **kwargs):
+            seen.update(kwargs, profile=profile)
+            return passing_verdict("taskpool")
+
+        monkeypatch.setattr(chaos, "run_chaos_taskpool", fake)
+        assert main(["chaos", "taskpool", "--crashes", "3"]) == 0
+        assert seen["profile"] == "none" and seen["crashes"] == 3
+
+    def test_unknown_figure_exits_two(self, monkeypatch, capsys):
+        def fake(name, *a, **k):
+            raise KeyError(f"unknown figure {name!r}")
+
+        monkeypatch.setattr(chaos, "run_chaos", fake)
+        assert main(["chaos", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_out_writes_the_verdict_file(self, monkeypatch, tmp_path,
+                                         capsys):
+        monkeypatch.setattr(chaos, "run_chaos",
+                            lambda *a, **k: passing_verdict())
+        out = str(tmp_path / "nested" / "verdict.json")
+        assert main(["chaos", "fig6", "--out", out]) == 0
+        with open(out) as f:
+            assert json.loads(f.read())["profile"] == "queue-storm"
+
+    def test_splice_flag_reaches_the_harness(self, monkeypatch):
+        seen = {}
+
+        def fake(name, profile, seed, **kwargs):
+            seen.update(kwargs)
+            return failing_verdict()
+
+        monkeypatch.setattr(chaos, "run_chaos", fake)
+        assert main(["chaos", "fig6", "--self-test-splice"]) == 1
+        assert seen["splice"] is True
+
+
+class TestFaultsExitCode:
+    def canned(self, completed):
+        return {
+            "profile": "lossy-queue", "policy": "exponential",
+            "completed": completed, "results_collected": 4 if completed
+            else 1, "tasks": 4, "completion_time": 12.0, "attempts": 9,
+            "retries": 5, "giveups": 0, "retry_amplification": 2.25,
+            "total_backoff": 3.0, "worker_restarts": 0,
+            "availability": {"queue": 0.9}, "faults_injected": {"loss": 2},
+            "trace": [],
+        }
+
+    def test_incomplete_run_exits_one(self, monkeypatch, capsys):
+        monkeypatch.setattr(profiles, "run_faulted_taskpool",
+                            lambda *a, **k: self.canned(False))
+        assert main(["faults", "run", "lossy-queue"]) == 1
+        assert "did not run to completion" in capsys.readouterr().err
+
+    def test_completed_run_exits_zero(self, monkeypatch, capsys):
+        monkeypatch.setattr(profiles, "run_faulted_taskpool",
+                            lambda *a, **k: self.canned(True))
+        assert main(["faults", "run", "lossy-queue"]) == 0
+        assert "completed         True" in capsys.readouterr().out

@@ -1,0 +1,324 @@
+"""Checker unit tests over synthetic histories.
+
+Each test builds a small hand-written :class:`History` and asserts the
+checker both accepts conforming runs and flags the specific anomaly it
+exists to catch.
+"""
+
+import hashlib
+
+from repro.chaos.history import History
+from repro.chaos.invariants import (
+    Violation,
+    check_analytics_conservation,
+    check_blob_integrity,
+    check_history,
+    check_queue_conservation,
+    check_table_conformance,
+    check_termination,
+)
+
+
+def digest(raw: bytes) -> str:
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+def rec(h, service, op, target, request=None, result=None, error=""):
+    return h.record(h._seq * 0.5, service, op, target,
+                    request or {}, result or {}, error)
+
+
+# -- queue conservation --------------------------------------------------------
+
+def queue_history():
+    h = History(default_visibility=30.0)
+    rec(h, "queue", "create_queue", "q")
+    rec(h, "queue", "put_message", "q",
+        {"digest": "d", "size": 4}, {"message_id": "m1"})
+    rec(h, "queue", "get_message", "q", {"visibility_timeout": 30.0},
+        {"messages": ({"message_id": "m1", "dequeue_count": 1,
+                       "pop_receipt": "r1", "digest": "d", "size": 4},)})
+    rec(h, "queue", "delete_message", "q",
+        {"message_id": "m1", "pop_receipt": "r1"})
+    return h
+
+
+def test_conforming_queue_history_passes():
+    assert check_queue_conservation(queue_history()) == []
+
+
+def test_splice_drop_flags_conservation():
+    h = queue_history()
+    msg_id = h.splice_drop()
+    assert msg_id == "m1"
+    violations = check_queue_conservation(h)
+    assert any("vanished" in v.message for v in violations)
+
+
+def test_splice_requires_a_successful_put():
+    import pytest
+    with pytest.raises(ValueError, match="no successful put_message"):
+        History().splice_drop()
+
+
+def test_redelivery_after_visibility_expiry_is_explained():
+    h = History(default_visibility=30.0)
+    rec(h, "queue", "put_message", "q", {}, {"message_id": "m1"})
+    msg = {"message_id": "m1", "dequeue_count": 1, "pop_receipt": "r1",
+           "digest": "d", "size": 4}
+    h.record(1.0, "queue", "get_message", "q",
+             {"visibility_timeout": 5.0}, {"messages": (msg,)})
+    h.record(7.0, "queue", "get_message", "q",  # 1.0 + 5.0 < 7.0: expired
+             {"visibility_timeout": 5.0},
+             {"messages": (dict(msg, dequeue_count=2, pop_receipt="r2"),)})
+    h.record(7.5, "queue", "delete_message", "q",
+             {"message_id": "m1", "pop_receipt": "r2"}, {})
+    assert check_queue_conservation(h) == []
+
+
+def test_redelivery_inside_visibility_window_is_a_violation():
+    h = History(default_visibility=30.0)
+    rec(h, "queue", "put_message", "q", {}, {"message_id": "m1"})
+    msg = {"message_id": "m1", "dequeue_count": 1, "pop_receipt": "r1",
+           "digest": "d", "size": 4}
+    h.record(1.0, "queue", "get_message", "q",
+             {"visibility_timeout": 60.0}, {"messages": (msg,)})
+    h.record(2.0, "queue", "get_message", "q",  # still invisible: a bug
+             {"visibility_timeout": 60.0},
+             {"messages": (dict(msg, dequeue_count=2, pop_receipt="r2"),)})
+    h.record(2.5, "queue", "delete_message", "q",
+             {"message_id": "m1", "pop_receipt": "r2"}, {})
+    violations = check_queue_conservation(h)
+    assert any("unexplained duplicate" in v.message for v in violations)
+
+
+def test_injected_duplicate_grant_explains_redelivery():
+    h = History(default_visibility=30.0)
+    rec(h, "queue", "put_message", "q", {}, {"message_id": "m1"})
+    msg = {"message_id": "m1", "dequeue_count": 1, "pop_receipt": "r1",
+           "digest": "d", "size": 4}
+    # The duplicate-delivery fault fires inside the first get: the grant
+    # rides on that record's faults tuple.
+    h._pending_faults.append("duplicate_delivery")
+    h.record(1.0, "queue", "get_message", "q",
+             {"visibility_timeout": 60.0}, {"messages": (msg,)})
+    h.record(2.0, "queue", "get_message", "q",
+             {"visibility_timeout": 60.0},
+             {"messages": (dict(msg, dequeue_count=2, pop_receipt="r1"),)})
+    h.record(2.5, "queue", "delete_message", "q",
+             {"message_id": "m1", "pop_receipt": "r1"}, {})
+    assert check_queue_conservation(h) == []
+
+
+def test_injected_message_loss_is_not_a_violation():
+    h = History()
+    h._pending_faults.append("message_loss")
+    rec(h, "queue", "put_message", "q", {}, {"message_id": None})
+    assert check_queue_conservation(h) == []
+
+
+def test_unattributed_message_loss_is_a_violation():
+    h = History()
+    rec(h, "queue", "put_message", "q", {}, {"message_id": None})
+    violations = check_queue_conservation(h)
+    assert any("without an injected" in v.message for v in violations)
+
+
+# -- blob integrity ------------------------------------------------------------
+
+def test_block_blob_roundtrip_passes_and_corruption_fails():
+    data = b"block-payload"
+    h = History()
+    rec(h, "blob", "put_block", "c/b",
+        {"block_id": "0", "digest": digest(data), "size": len(data),
+         "bytes": data})
+    rec(h, "blob", "put_block_list", "c/b",
+        {"block_ids": ("0",), "merge": False})
+    rec(h, "blob", "get_block", "c/b", {"index": 0},
+        {"digest": digest(data), "size": len(data)})
+    rec(h, "blob", "download_block_blob", "c/b", {},
+        {"digest": digest(data), "size": len(data)})
+    assert check_blob_integrity(h) == []
+
+    bad = History()
+    rec(bad, "blob", "put_block", "c/b",
+        {"block_id": "0", "digest": digest(data), "size": len(data),
+         "bytes": data})
+    rec(bad, "blob", "put_block_list", "c/b",
+        {"block_ids": ("0",), "merge": False})
+    rec(bad, "blob", "get_block", "c/b", {"index": 0},
+        {"digest": digest(b"corrupted"), "size": len(data)})
+    violations = check_blob_integrity(bad)
+    assert any("differ" in v.message for v in violations)
+
+
+def test_page_blob_reassembly_checked_against_written_pages():
+    h = History()
+    rec(h, "blob", "create_page_blob", "c/p", {"max_size": 16})
+    page = b"A" * 8
+    rec(h, "blob", "put_page", "c/p",
+        {"offset": 0, "digest": digest(page), "size": 8, "bytes": page})
+    whole = page + bytes(8)  # unwritten tail reads back as zeros
+    rec(h, "blob", "download_page_blob", "c/p", {},
+        {"digest": digest(whole), "size": 16})
+    rec(h, "blob", "get_page", "c/p", {"offset": 0, "length": 8},
+        {"digest": digest(page), "size": 8})
+    assert check_blob_integrity(h) == []
+
+    rec(h, "blob", "get_page", "c/p", {"offset": 0, "length": 8},
+        {"digest": digest(b"B" * 8), "size": 8})
+    assert any("differs" in v.message for v in check_blob_integrity(h))
+
+
+def test_read_of_uncommitted_block_index_flagged():
+    h = History()
+    rec(h, "blob", "get_block", "c/b", {"index": 3},
+        {"digest": "00", "size": 1})
+    # No writes at all: nothing staged, the blob is untracked -> skipped.
+    assert check_blob_integrity(h) == []
+    rec(h, "blob", "put_block", "c/b",
+        {"block_id": "0", "digest": digest(b"x"), "size": 1, "bytes": b"x"})
+    rec(h, "blob", "put_block_list", "c/b",
+        {"block_ids": ("0",), "merge": False})
+    rec(h, "blob", "get_block", "c/b", {"index": 3},
+        {"digest": "00", "size": 1})
+    assert any("uncommitted" in v.message for v in check_blob_integrity(h))
+
+
+def test_oversized_writes_degrade_to_untracked():
+    h = History()
+    rec(h, "blob", "put_block", "c/b",
+        {"block_id": "0", "digest": "dd", "size": 10 ** 9})  # no "bytes"
+    rec(h, "blob", "put_block_list", "c/b",
+        {"block_ids": ("0",), "merge": False})
+    rec(h, "blob", "get_block", "c/b", {"index": 0},
+        {"digest": "whatever", "size": 10 ** 9})
+    assert check_blob_integrity(h) == []
+
+
+# -- table conformance ---------------------------------------------------------
+
+def test_conditional_write_exclusivity():
+    h = History()
+    rec(h, "table", "insert", "T",
+        {"partition_key": "p", "row_key": "r"}, {"etag": "1"})
+    rec(h, "table", "update", "T",
+        {"partition_key": "p", "row_key": "r", "etag": "1"}, {"etag": "2"})
+    h.final_entity_counts["T"] = 1
+    assert check_table_conformance(h) == []
+    # A second conditional win against the same consumed etag: violation.
+    rec(h, "table", "update", "T",
+        {"partition_key": "p", "row_key": "r", "etag": "1"}, {"etag": "3"})
+    violations = check_table_conformance(h)
+    assert any("optimistic concurrency" in v.message for v in violations)
+
+
+def test_wildcard_updates_never_conflict():
+    h = History()
+    rec(h, "table", "insert", "T",
+        {"partition_key": "p", "row_key": "r"}, {"etag": "1"})
+    for _ in range(3):
+        rec(h, "table", "update", "T",
+            {"partition_key": "p", "row_key": "r", "etag": "*"}, {})
+    h.final_entity_counts["T"] = 1
+    assert check_table_conformance(h) == []
+
+
+def test_entity_ledger_balances():
+    h = History()
+    for i in range(3):
+        rec(h, "table", "insert", "T",
+            {"partition_key": "p", "row_key": str(i)}, {"etag": str(i)})
+    rec(h, "table", "delete", "T",
+        {"partition_key": "p", "row_key": "0", "etag": "*"})
+    h.final_entity_counts["T"] = 2
+    assert check_table_conformance(h) == []
+    h.final_entity_counts["T"] = 1  # one entity evaporated
+    violations = check_table_conformance(h)
+    assert any("entity ledger" in v.message for v in violations)
+
+
+def test_upserts_and_dropped_tables_skip_the_ledger():
+    h = History()
+    rec(h, "table", "insert", "T", {"partition_key": "p", "row_key": "r"},
+        {"etag": "1"})
+    rec(h, "table", "insert_or_replace", "T",
+        {"partition_key": "p", "row_key": "r2"}, {})
+    h.final_entity_counts["T"] = 0  # would fail were the ledger enforced
+    assert check_table_conformance(h) == []
+
+
+# -- analytics + termination ---------------------------------------------------
+
+class FakeSpan:
+    def __init__(self, service, operation, nbytes, *, status="ok",
+                 error_code="", retries=0):
+        self.service = service
+        self.operation = operation
+        self.nbytes = nbytes
+        self.status = status
+        self.error_code = error_code
+        self.retries = retries
+
+
+class FakeTotals:
+    def __init__(self, requests, ingress, egress):
+        self.total_requests = requests
+        self.total_ingress = ingress
+        self.total_egress = egress
+
+
+class FakeMetrics:
+    def __init__(self, totals):
+        self._totals = totals
+
+    def services(self):
+        return list(self._totals)
+
+    def service_totals(self, service):
+        return self._totals.get(service, FakeTotals(0, 0, 0))
+
+
+def test_analytics_conservation_balances_and_detects_drift():
+    spans = [FakeSpan("queue", "put_message", 100),
+             FakeSpan("queue", "get_message", 40)]
+    good = FakeMetrics({"queue": FakeTotals(2, 100, 40)})
+    assert check_analytics_conservation(spans, good) == []
+    drifted = FakeMetrics({"queue": FakeTotals(2, 90, 40)})
+    violations = check_analytics_conservation(spans, drifted)
+    assert any("ingress" in v.message for v in violations)
+
+
+def test_interrupted_spans_are_not_a_conservation_leak():
+    spans = [FakeSpan("queue", "put_message", 100),
+             FakeSpan("queue", "put_message", 50, status="error",
+                      error_code="")]  # crash mid-flight: no $logs line
+    metrics = FakeMetrics({"queue": FakeTotals(1, 100, 0)})
+    assert check_analytics_conservation(spans, metrics) == []
+
+
+def test_protocol_errors_still_count():
+    spans = [FakeSpan("queue", "put_message", 100, status="error",
+                      error_code="ServerBusy")]
+    metrics = FakeMetrics({"queue": FakeTotals(0, 0, 0)})
+    violations = check_analytics_conservation(spans, metrics)
+    assert any("requests" in v.message for v in violations)
+
+
+def test_termination_checks_completion_and_retry_budget():
+    assert check_termination([], retry_budget=4, completed=True) == []
+    v = check_termination([], retry_budget=4, completed=False)
+    assert any("did not run to completion" in x.message for x in v)
+    spans = [FakeSpan("queue", "put_message", 0, retries=9)]
+    v = check_termination(spans, retry_budget=4)
+    assert any("retries" in x.message for x in v)
+
+
+def test_check_history_bundles_available_evidence():
+    h = queue_history()
+    assert check_history(h) == []
+    h.splice_drop()
+    violations = check_history(h)
+    assert violations and all(isinstance(v, Violation) for v in violations)
+    assert {"checker": violations[0].checker,
+            "message": violations[0].message} == violations[0].to_dict()

@@ -1,0 +1,125 @@
+"""End-to-end chaos conformance runs, and the chaos-off golden pin.
+
+The scale here is deliberately tiny: conformance is about code paths,
+not throughput, and the full profile matrix must stay CI-friendly.
+"""
+
+import pytest
+
+from repro.bench.figures import BenchScale
+from repro.chaos import chaos_workloads, run_chaos
+from repro.chaos.schedule import build_schedule
+from repro.storage import KB
+
+from tests.observability.test_golden_trace import (
+    GOLDEN_DIGEST,
+    MINI,
+    run_mini,
+)
+
+# Single worker count, but enough operations that the run outlasts the
+# schedule's jittered fault-window starts (up to ~5 s in).
+TINY = BenchScale(
+    name="chaos-tiny", worker_counts=(2,), blob_total_chunks=4,
+    blob_repeats=1, queue_total_messages=96, queue_message_sizes=(4 * KB,),
+    shared_total_transactions=48, shared_think_times=(1.0,),
+    table_entity_count=48, table_entity_sizes=(4 * KB,), seed=2012)
+
+
+def test_workload_map_covers_every_figure():
+    workloads = chaos_workloads()
+    assert set(workloads) == {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+    assert workloads["fig9"] == ("queue_sep", "table")
+
+
+def test_unknown_figure_raises():
+    with pytest.raises(KeyError, match="unknown figure"):
+        run_chaos("fig99", "none", 0, scale=TINY)
+
+
+def test_fig6_under_queue_storm_conforms():
+    verdict = run_chaos("fig6", "queue-storm", 7, scale=TINY)
+    assert verdict.passed, [str(v) for v in verdict.violations]
+    assert verdict.counts["runs"] == 1
+    assert verdict.counts["audited_ops"] > 0
+    # Every audited client op produced exactly one span (same pipeline).
+    assert verdict.counts["spans"] == verdict.counts["audited_ops"]
+    assert verdict.schedules and verdict.schedules[0]["profile"] == \
+        "queue-storm"
+
+
+def test_fig6_chaos_run_actually_injects_faults():
+    verdict = run_chaos("fig6", "queue-storm", 7, scale=TINY)
+    assert verdict.counts["faults_injected"] > 0
+
+
+def test_splice_self_test_flips_the_verdict():
+    verdict = run_chaos("fig6", "queue-storm", 7, scale=TINY, splice=True)
+    assert verdict.counts["spliced"] == 1
+    assert not verdict.passed
+    assert any("vanished" in v.message for v in verdict.violations)
+    assert all("spliced" in v.message for v in verdict.violations)
+
+
+def test_fig8_under_table_storm_conforms():
+    verdict = run_chaos("fig8", "table-storm", 11, scale=TINY)
+    assert verdict.passed, [str(v) for v in verdict.violations]
+    assert verdict.counts["faults_injected"] > 0
+
+
+def test_fig4_blob_integrity_under_flaky_500s():
+    verdict = run_chaos("fig4", "flaky-500s", 3, scale=TINY)
+    assert verdict.passed, [str(v) for v in verdict.violations]
+
+
+def test_chaos_verdict_serializes():
+    import json
+
+    verdict = run_chaos("fig6", "none", 0, scale=TINY)
+    data = json.loads(verdict.to_json())
+    assert data["passed"] is True
+    assert data["workload"] == "fig6"
+    assert "PASS" in verdict.summary()
+
+
+def test_same_seed_same_schedule():
+    a = build_schedule("queue-storm", seed=7, crashes=2, workers=4)
+    b = build_schedule("queue-storm", seed=7, crashes=2, workers=4)
+    assert a == b
+    c = build_schedule("queue-storm", seed=8, crashes=2, workers=4)
+    assert a != c
+
+
+# -- chaos disabled: bit-identical to the pre-existing golden stream ----------
+
+def test_chaos_disabled_run_matches_golden_digest():
+    """Seeded sim runs with no chaos instrumentation stay bit-identical."""
+    assert run_mini(trace=True).trace.digest() == GOLDEN_DIGEST
+
+
+def test_chaos_audit_is_a_pure_observer_of_the_golden_run():
+    """Auditing + a 'none' fault plan must not move a single event.
+
+    The audit only computes digests at op completion instants and the
+    empty plan draws no randomness, so the span stream digest — which
+    hashes every op's timing — must equal the pinned golden digest.
+    """
+    from repro.chaos import History, audit_account
+    from repro.chaos.schedule import build_schedule
+    from repro.core import RunConfig, run_bench, separate_queue_bench_body
+
+    history = History()
+    schedule = build_schedule("none", seed=0)
+
+    def instrument(account):
+        plan = schedule.plan()
+        plan.subscribe(history.on_fault)
+        account.cluster.set_fault_plan(plan)
+        audit_account(account, history)
+
+    config = RunConfig(workers=2, seed=2012, label="golden", trace=True,
+                       instrument=instrument)
+    result = run_bench(lambda: separate_queue_bench_body(MINI), config)
+    assert result.trace.digest() == GOLDEN_DIGEST
+    assert history.records, "the audit recorded nothing"
+    assert history.fault_events == []

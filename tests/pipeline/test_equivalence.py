@@ -219,3 +219,58 @@ def test_same_error_spans_under_injected_faults(seed):
     assert signature(tracers["sim"]) == signature(tracers["emulator"])
     statuses = {s.status for s in tracers["sim"].spans}
     assert statuses == {"ok", "error"}
+    # Injected transient faults carry their verdict on the error span.
+    for tracer in tracers.values():
+        error_spans = [s for s in tracer.spans if not s.ok]
+        assert error_spans
+        assert all(s.fault == "transient_error" for s in error_spans)
+        assert all(s.fault == "" for s in tracer.spans if s.ok)
+
+
+@pytest.mark.parametrize("seed", [11])
+def test_data_plane_fault_attribution_in_spans(seed):
+    """Injected message loss / duplicate delivery is attributed in Span
+    metadata (the fault verdict field), identically on both backends, so
+    a history checker can tell injected anomalies from genuine bugs."""
+    from repro.faults import FaultKind, FaultPlan, FaultSpec
+    from repro.observability import Tracer
+
+    ops = random_op_sequence(seed)
+    tracers = {}
+
+    def instrument_as(key):
+        def instrument(account):
+            # Loss at p=0.5 so some puts still land and the gets have
+            # messages to duplicate; the plan's RNG draw sequence is
+            # identical on both backends (same op order, same seed).
+            plan = FaultPlan([
+                FaultSpec(kind=FaultKind.MESSAGE_LOSS, service="queue",
+                          partition="que", probability=0.5),
+                FaultSpec(kind=FaultKind.DUPLICATE_DELIVERY, service="queue",
+                          partition="que", probability=1.0),
+            ], seed=5)
+            target = account.cluster if hasattr(account, "cluster") else account
+            target.set_fault_plan(plan)
+            tracers[key] = Tracer(trace_id=key).install(account)
+        return instrument
+
+    _, _, sim_outcomes = run_on_sim(ops, instrument_as("sim"))
+    _, _, emu_outcomes = run_on_emulator(ops, instrument_as("emulator"))
+    assert sim_outcomes == emu_outcomes
+
+    for tracer in tracers.values():
+        verdicts = {(s.operation, s.fault) for s in tracer.spans if s.fault}
+        # Some acked puts against "que" lost their payload; every get that
+        # returned a message left it visible for another consumer.
+        assert ("put_message", "message_loss") in verdicts
+        assert ("get_message", "duplicate_delivery") in verdicts
+        # The verdict never leaks onto unrelated operations.
+        for span in tracer.spans:
+            if span.fault:
+                assert span.service == "queue" and span.partition == "que"
+                assert span.status == "ok"
+    sim_faults = [(s.operation, s.fault)
+                  for s in tracers["sim"].spans if s.fault]
+    emu_faults = [(s.operation, s.fault)
+                  for s in tracers["emulator"].spans if s.fault]
+    assert sim_faults == emu_faults
