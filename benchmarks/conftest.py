@@ -3,11 +3,14 @@
 Run with::
 
     pytest benchmarks/ --benchmark-only            # quick scale
+    pytest benchmarks/ --benchmark-only --jobs 4   # parallel sweeps
     AZUREBENCH_FULL=1 pytest benchmarks/ --benchmark-only   # paper scale
 
 Each bench regenerates one table/figure of the paper, prints the series
 (use ``-s`` to see them mid-run; they also land in the captured output),
-and asserts the paper's qualitative claims about that figure.
+and asserts the paper's qualitative claims about that figure.  ``--jobs``
+fans the sweeps behind the figures over a process pool; the numbers are
+byte-identical to a serial run (docs/performance.md), only faster.
 """
 
 from __future__ import annotations
@@ -17,10 +20,17 @@ import pytest
 from repro.bench import FigureRunner, active_scale
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan sweep cells over N worker processes (default: serial)")
+
+
 @pytest.fixture(scope="session")
-def runner() -> FigureRunner:
+def runner(request) -> FigureRunner:
     """One FigureRunner per session so figures share cached sweeps."""
-    return FigureRunner(active_scale())
+    return FigureRunner(active_scale(),
+                        jobs=request.config.getoption("--jobs"))
 
 
 @pytest.fixture(scope="session")

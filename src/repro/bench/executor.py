@@ -1,0 +1,165 @@
+"""Parallel sweep execution: fan independent cells over a process pool.
+
+Every figure in the paper is a sweep over independent worker counts, and
+every cell of that sweep (one ``label@workers`` benchmark run) builds its
+own seeded :class:`~repro.simkit.environment.Environment` and storage
+account from scratch.  Cells therefore share *nothing* at runtime — the
+only coupling is the deterministic seed each cell derives from the scale
+— so a campaign can fan its cells out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and merge the results in
+serial order without moving a single simulated number: a parallel run is
+bit-identical to the serial one, cell for cell (pinned by
+``tests/bench/test_parallel_equivalence.py``).
+
+Cells are described by plain picklable data — ``(scale, label,
+workers, backend-name)`` — and rebuilt inside the pool worker through
+:func:`repro.bench.figures.build_body_factory`, so no closures cross the
+process boundary.  Checkpointed cells are resolved in the parent before
+anything is submitted (the checkpoint file never travels either), and
+each finished cell is persisted the moment its future completes, exactly
+as the serial path writes it.
+
+:func:`run_chaos_matrix` applies the same fan-out to the chaos harness's
+seed matrices: one seeded :func:`~repro.chaos.runner.run_chaos` per
+process, verdicts merged in seed order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.metrics import BenchResult
+from ..core.runner import RunConfig, run_bench
+
+__all__ = ["SweepExecutor", "default_jobs", "run_chaos_matrix"]
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default: every core the scheduler grants us."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_cell(scale, label: str, workers: int, backend: str) -> BenchResult:
+    """Pool worker: run one sweep cell from its picklable description.
+
+    Mirrors the serial path's per-cell ``RunConfig`` exactly: the cell
+    re-seeds its own fresh environment from ``scale.seed``, so the result
+    is bit-identical no matter which process (or how many siblings) ran
+    it.  Tracing and instrument hooks are never set here — runners that
+    need them stay serial (``FigureRunner._parallel_eligible``).
+    """
+    from .figures import build_body_factory
+
+    config = RunConfig(seed=scale.seed, workers=workers,
+                       label=f"{label}@{workers}", backend=backend)
+    return run_bench(build_body_factory(scale, label), config)
+
+
+def _run_chaos_cell(figure: str, profile: str, seed: int,
+                    retry_budget: int, splice: bool):
+    """Pool worker: one seeded chaos run; only the verdict crosses back."""
+    from ..chaos import run_chaos
+
+    return run_chaos(figure, profile, seed, retry_budget=retry_budget,
+                     splice=splice)
+
+
+class SweepExecutor:
+    """Fans sweep cells out over ``jobs`` worker processes.
+
+    The executor owns scheduling only; what a cell *is* lives in
+    :mod:`repro.bench.figures` (the sweep registry) and what it *means*
+    in :mod:`repro.core.runner`.  Results come back keyed exactly like
+    the serial sweeps: ``{label: {workers: BenchResult}}``, iteration
+    order matching the serial path (labels as given, worker counts as
+    the scale orders them).
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def run_sweeps(self, scale, labels: Sequence[str], *,
+                   backend: str = "sim",
+                   checkpoint=None) -> Dict[str, Dict[int, BenchResult]]:
+        """Run every cell of ``labels`` x ``scale.worker_counts``.
+
+        Checkpoint hits load in the parent and are never submitted;
+        misses run in the pool and land in the checkpoint as their
+        futures complete.  The merged mapping is ordered like the serial
+        sweeps regardless of completion order.
+        """
+        cells: List[Tuple[str, int]] = [
+            (label, workers)
+            for label in labels for workers in scale.worker_counts]
+        results: Dict[Tuple[str, int], BenchResult] = {}
+        pending: List[Tuple[str, int]] = []
+        for label, workers in cells:
+            cached = (checkpoint.get(f"{label}@{workers}")
+                      if checkpoint is not None else None)
+            if cached is not None:
+                results[(label, workers)] = cached
+            else:
+                pending.append((label, workers))
+
+        if pending:
+            if self.jobs == 1:
+                for label, workers in pending:
+                    result = _run_cell(scale, label, workers, backend)
+                    if checkpoint is not None:
+                        checkpoint.put(f"{label}@{workers}", result)
+                    results[(label, workers)] = result
+            else:
+                max_workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    futures = {
+                        pool.submit(_run_cell, scale, label, workers,
+                                    backend): (label, workers)
+                        for label, workers in pending
+                    }
+                    for future in as_completed(futures):
+                        label, workers = futures[future]
+                        result = future.result()
+                        if checkpoint is not None:
+                            checkpoint.put(f"{label}@{workers}", result)
+                        results[(label, workers)] = result
+
+        # Ordered merge: serial iteration order, whatever finished first.
+        return {
+            label: {workers: results[(label, workers)]
+                    for workers in scale.worker_counts}
+            for label in labels
+        }
+
+
+def run_chaos_matrix(figure: str, profile: str, seeds: Sequence[int], *,
+                     jobs: Optional[int] = None, retry_budget: int = 64,
+                     splice: bool = False) -> Dict[int, object]:
+    """Run one chaos workload across a seed matrix, optionally in parallel.
+
+    Returns ``{seed: ChaosVerdict}`` in the order seeds were given.
+    Each seed is fully independent (its own schedule, environment, and
+    account), so the fan-out cannot change any verdict — a parallel
+    matrix equals running ``repro chaos --seed s`` once per seed.
+    """
+    seeds = list(seeds)
+    if jobs is None or jobs <= 1 or len(seeds) <= 1:
+        return {seed: _run_chaos_cell(figure, profile, seed, retry_budget,
+                                      splice)
+                for seed in seeds}
+    verdicts: Dict[int, object] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+        futures = {
+            pool.submit(_run_chaos_cell, figure, profile, seed,
+                        retry_budget, splice): seed
+            for seed in seeds
+        }
+        for future in as_completed(futures):
+            verdicts[futures[future]] = future.result()
+    return {seed: verdicts[seed] for seed in seeds}

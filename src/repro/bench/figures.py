@@ -60,9 +60,12 @@ from .report import FigureData, format_table
 
 __all__ = [
     "BenchScale",
+    "MINI_SCALE",
     "QUICK_SCALE",
     "PAPER_SCALE",
+    "SWEEP_BUILDERS",
     "active_scale",
+    "build_body_factory",
     "FigureRunner",
     "figure_table1",
 ]
@@ -99,6 +102,22 @@ QUICK_SCALE = BenchScale(
     table_entity_sizes=(4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB),
 )
 
+#: Minimal scale for unit tests (e.g. serial-vs-parallel equivalence):
+#: every sweep still exercises each figure's phases, but the full label
+#: matrix runs in a couple of seconds.
+MINI_SCALE = BenchScale(
+    name="mini",
+    worker_counts=(1, 2),
+    blob_total_chunks=4,
+    blob_repeats=1,
+    queue_total_messages=24,
+    queue_message_sizes=(4 * KB,),
+    shared_total_transactions=24,
+    shared_think_times=(1.0,),
+    table_entity_count=6,
+    table_entity_sizes=(4 * KB,),
+)
+
 #: The paper's parameters (Section IV): 100 MB blobs x 10 repeats, 20,000
 #: queue messages, 500 entities, up to 96 workers.
 PAPER_SCALE = BenchScale(
@@ -120,6 +139,69 @@ def active_scale() -> BenchScale:
     return PAPER_SCALE if os.environ.get("AZUREBENCH_FULL") == "1" else QUICK_SCALE
 
 
+# -- sweep registry ----------------------------------------------------------
+# One entry per worker-count sweep behind the figures.  Builders are
+# module-level functions of the scale so a sweep cell can be described by
+# plain picklable data (scale, label, workers) and reconstructed inside a
+# process-pool worker (:mod:`repro.bench.executor`) — the serial runner
+# and the parallel executor build bodies through the same table.
+
+def _blob_bodies(scale: BenchScale) -> Callable[[], Callable]:
+    cfg = BlobBenchConfig(
+        total_chunks=scale.blob_total_chunks,
+        repeats=scale.blob_repeats,
+        seed=scale.seed,
+    )
+    return lambda: blob_bench_body(cfg)
+
+
+def _queue_separate_bodies(scale: BenchScale) -> Callable[[], Callable]:
+    cfg = SeparateQueueBenchConfig(
+        total_messages=scale.queue_total_messages,
+        message_sizes=scale.queue_message_sizes,
+        seed=scale.seed,
+    )
+    return lambda: separate_queue_bench_body(cfg)
+
+
+def _queue_shared_bodies(scale: BenchScale) -> Callable[[], Callable]:
+    cfg = SharedQueueBenchConfig(
+        total_transactions=scale.shared_total_transactions,
+        think_times=scale.shared_think_times,
+        seed=scale.seed,
+    )
+    return lambda: shared_queue_bench_body(cfg)
+
+
+def _table_bodies(scale: BenchScale) -> Callable[[], Callable]:
+    cfg = TableBenchConfig(
+        entity_count=scale.table_entity_count,
+        entity_sizes=scale.table_entity_sizes,
+        seed=scale.seed,
+    )
+    return lambda: table_bench_body(cfg)
+
+
+#: Sweep label -> builder, in the serial execution order of ``all``.
+SWEEP_BUILDERS: Dict[str, Callable[[BenchScale], Callable[[], Callable]]] = {
+    "fig4/5": _blob_bodies,
+    "fig6": _queue_separate_bodies,
+    "fig7": _queue_shared_bodies,
+    "fig8": _table_bodies,
+}
+
+
+def build_body_factory(scale: BenchScale, label: str) -> Callable[[], Callable]:
+    """Zero-arg factory of fresh role bodies for one sweep label."""
+    try:
+        builder = SWEEP_BUILDERS[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep {label!r}; choose from "
+            f"{', '.join(sorted(SWEEP_BUILDERS))}") from None
+    return builder(scale)
+
+
 def figure_table1() -> FigureData:
     """Table I: VM configurations of Windows Azure roles."""
     fig = FigureData(
@@ -138,10 +220,19 @@ def figure_table1() -> FigureData:
 class FigureRunner:
     """Runs and caches the sweeps behind Figures 4-9."""
 
+    #: Sweep label -> cache attribute, in serial execution order.
+    _SWEEP_CACHES = {
+        "fig4/5": "_blob",
+        "fig6": "_queue_sep",
+        "fig7": "_queue_shared",
+        "fig8": "_table",
+    }
+
     def __init__(self, scale: Optional[BenchScale] = None, *,
                  backend: object = "sim", trace: bool = False,
                  checkpoint: Optional[object] = None,
-                 instrument: Optional[Callable] = None) -> None:
+                 instrument: Optional[Callable] = None,
+                 jobs: Optional[int] = None) -> None:
         self.scale = scale if scale is not None else active_scale()
         #: Which backend runs the sweeps: "sim" (default, seeded DES) or
         #: "emulator" (threaded, wall-clock); see :mod:`repro.backend`.
@@ -157,6 +248,14 @@ class FigureRunner:
         self.checkpoint = checkpoint
         #: Optional per-run account hook (``RunConfig.instrument``).
         self.instrument = instrument
+        #: Fan independent sweep cells out over this many worker processes
+        #: (:class:`repro.bench.executor.SweepExecutor`).  ``None``/``1``
+        #: keeps the serial path; parallel runs are cell-for-cell
+        #: bit-identical to serial ones because every cell re-seeds its own
+        #: fresh environment from the scale's seed either way.  Tracing and
+        #: instrumented runs hold live objects that cannot cross a process
+        #: boundary, so they always run serially regardless of ``jobs``.
+        self.jobs = jobs
         self._blob: Optional[Dict[int, BenchResult]] = None
         self._queue_sep: Optional[Dict[int, BenchResult]] = None
         self._queue_shared: Optional[Dict[int, BenchResult]] = None
@@ -175,8 +274,47 @@ class FigureRunner:
                               "backend": backend}, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
-    def _sweep(self, label: str, body_factory) -> Dict[int, BenchResult]:
+    def _parallel_eligible(self) -> bool:
+        """Can sweeps fan out over a process pool?
+
+        Tracing and instrument hooks hold live objects (tracers, fault
+        plans, audit state) the parent needs after the run — those cells
+        cannot cross a process boundary and stay serial.  Backend
+        *instances* may carry unpicklable state, so only the registered
+        backend names parallelize.
+        """
+        return (self.jobs is not None and self.jobs > 1
+                and not self.trace
+                and self.instrument is None
+                and isinstance(self.backend, str))
+
+    def _cell_result(self, config: RunConfig, body_factory) -> BenchResult:
+        """The single lookup-or-run path for one sweep cell.
+
+        Checks the checkpoint first; only a miss enters
+        :func:`~repro.core.runner.run_bench`, and the fresh result is
+        persisted before it is returned.  Both the serial sweep and the
+        parallel executor's checkpoint pre-pass resolve cells through
+        this one helper, so there is exactly one place that decides
+        whether a cell re-runs.
+        """
+        cached = (self.checkpoint.get(config.label)
+                  if self.checkpoint is not None else None)
+        if cached is not None:
+            return cached
+        result = run_bench(body_factory, config)
+        if self.checkpoint is not None:
+            self.checkpoint.put(config.label, result)
+        return result
+
+    def _sweep(self, label: str) -> Dict[int, BenchResult]:
         """One worker-count sweep, checkpointing each completed cell."""
+        if self._parallel_eligible():
+            from .executor import SweepExecutor
+            return SweepExecutor(self.jobs).run_sweeps(
+                self.scale, [label], backend=self.backend,
+                checkpoint=self.checkpoint)[label]
+        body_factory = build_body_factory(self.scale, label)
         base = RunConfig(seed=self.scale.seed, label=label,
                          backend=self.backend, trace=self.trace,
                          instrument=self.instrument)
@@ -184,59 +322,51 @@ class FigureRunner:
         for workers in self.scale.worker_counts:
             config = replace(base, workers=workers,
                              label=f"{label}@{workers}")
-            cached = (self.checkpoint.get(config.label)
-                      if self.checkpoint is not None else None)
-            if cached is not None:
-                results[workers] = cached
-                continue
-            result = run_bench(body_factory, config)
-            if self.checkpoint is not None:
-                self.checkpoint.put(config.label, result)
-            results[workers] = result
+            results[workers] = self._cell_result(config, body_factory)
         return results
+
+    def prefetch(self, labels: Optional[List[str]] = None) -> None:
+        """Warm the sweep caches, fanning cells out when ``jobs`` > 1.
+
+        With a process pool this runs the *whole* remaining cell matrix
+        (every missing sweep x every worker count) in one fan-out, so a
+        multi-figure campaign (``repro all --jobs N``) keeps all N workers
+        busy across sweep boundaries instead of draining one sweep at a
+        time.  Serial runners get the same effect lazily, so this is a
+        no-op for them.
+        """
+        if labels is None:
+            labels = list(self._SWEEP_CACHES)
+        missing = [label for label in labels
+                   if getattr(self, self._SWEEP_CACHES[label]) is None]
+        if not missing or not self._parallel_eligible():
+            return
+        from .executor import SweepExecutor
+        sweeps = SweepExecutor(self.jobs).run_sweeps(
+            self.scale, missing, backend=self.backend,
+            checkpoint=self.checkpoint)
+        for label, results in sweeps.items():
+            setattr(self, self._SWEEP_CACHES[label], results)
 
     # -- sweeps (cached) -------------------------------------------------
     def blob_sweep(self) -> Dict[int, BenchResult]:
         if self._blob is None:
-            cfg = BlobBenchConfig(
-                total_chunks=self.scale.blob_total_chunks,
-                repeats=self.scale.blob_repeats,
-                seed=self.scale.seed,
-            )
-            self._blob = self._sweep("fig4/5", lambda: blob_bench_body(cfg))
+            self._blob = self._sweep("fig4/5")
         return self._blob
 
     def queue_separate_sweep(self) -> Dict[int, BenchResult]:
         if self._queue_sep is None:
-            cfg = SeparateQueueBenchConfig(
-                total_messages=self.scale.queue_total_messages,
-                message_sizes=self.scale.queue_message_sizes,
-                seed=self.scale.seed,
-            )
-            self._queue_sep = self._sweep(
-                "fig6", lambda: separate_queue_bench_body(cfg))
+            self._queue_sep = self._sweep("fig6")
         return self._queue_sep
 
     def queue_shared_sweep(self) -> Dict[int, BenchResult]:
         if self._queue_shared is None:
-            cfg = SharedQueueBenchConfig(
-                total_transactions=self.scale.shared_total_transactions,
-                think_times=self.scale.shared_think_times,
-                seed=self.scale.seed,
-            )
-            self._queue_shared = self._sweep(
-                "fig7", lambda: shared_queue_bench_body(cfg))
+            self._queue_shared = self._sweep("fig7")
         return self._queue_shared
 
     def table_sweep(self) -> Dict[int, BenchResult]:
         if self._table is None:
-            cfg = TableBenchConfig(
-                entity_count=self.scale.table_entity_count,
-                entity_sizes=self.scale.table_entity_sizes,
-                seed=self.scale.seed,
-            )
-            self._table = self._sweep(
-                "fig8", lambda: table_bench_body(cfg))
+            self._table = self._sweep("fig8")
         return self._table
 
     def traces(self) -> List[Tuple[str, int, object]]:
@@ -396,6 +526,7 @@ class FigureRunner:
 
     def all_figures(self) -> List[FigureData]:
         """Every figure, in paper order (runs all sweeps)."""
+        self.prefetch()
         f4a, f4b = self.figure4()
         f5a, f5b = self.figure5()
         out = [figure_table1(), f4a, f4b, f5a, f5b]

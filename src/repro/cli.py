@@ -7,10 +7,13 @@ Usage (also available as ``python -m repro``)::
     python -m repro fig 4                # Figure 4 (a+b)
     python -m repro fig 6 --full         # Figure 6 at paper scale
     python -m repro all --csv out/       # everything, also CSV files
+    python -m repro all --jobs $(nproc)  # same figures, all cores
     python -m repro trace fig6           # Figure 6 + trace artifacts
     python -m repro claims               # the qualitative claims checked
     python -m repro chaos fig6 --profile queue-storm --seed 7
+    python -m repro chaos fig6 --profile queue-storm --seeds 7,8,9 --jobs 3
     python -m repro chaos taskpool --profile lossy-queue --crashes 2
+    python -m repro perf --quick         # kernel + sweep perf, BENCH_core.json
 
 Exit codes are documented in ``docs/cli.md``: 0 success, 1 a run
 completed but failed its checks (audit mismatch, chaos violation,
@@ -71,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--checkpoint", metavar="FILE",
                      help="persist each completed sweep cell to FILE and "
                           "resume from it (kill-safe figure campaigns)")
+    fig.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="fan independent sweep cells out over N worker "
+                          "processes (default 1: serial; results are "
+                          "bit-identical either way)")
 
     all_cmd = sub.add_parser("all", help="regenerate every table and figure")
     all_cmd.add_argument("--full", action="store_true")
@@ -80,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd.add_argument("--checkpoint", metavar="FILE",
                          help="persist each completed sweep cell to FILE "
                               "and resume from it")
+    all_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fan the whole figure x worker-count cell "
+                              "matrix out over N worker processes "
+                              "(default 1: serial; bit-identical results)")
 
     trace = sub.add_parser(
         "trace", help="regenerate one figure with tracing enabled and "
@@ -101,6 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
     audit = sub.add_parser(
         "audit", help="run only the paper-vs-measured audit table")
     audit.add_argument("--full", action="store_true")
+
+    perf = sub.add_parser(
+        "perf", help="performance harness: kernel events/sec + sweep "
+                     "wall-clock serial vs --jobs, written to "
+                     "BENCH_core.json (docs/performance.md)")
+    perf.add_argument("--quick", action="store_true",
+                      help="CI-smoke budget: time only the fig6 sweep")
+    perf.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="process count for the parallel sweep leg "
+                           "(default: all available cores)")
+    perf.add_argument("--out", metavar="FILE", default="BENCH_core.json",
+                      help="where to write the measurements "
+                           "(default: BENCH_core.json)")
+    perf.add_argument("--baseline", metavar="FILE",
+                      help="compare kernel events/sec against this "
+                           "committed BENCH_core.json; exit 1 on a drop "
+                           "beyond --tolerance")
+    perf.add_argument("--tolerance", type=float, default=0.30,
+                      help="allowed fractional drop vs baseline "
+                           "(default 0.30)")
 
     faults = sub.add_parser(
         "faults", help="fault-injection profiles (chaos runs)")
@@ -132,6 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0,
                        help="schedule seed (jitter, crash times, fault "
                             "draws)")
+    chaos.add_argument("--seeds", metavar="S1,S2,...",
+                       help="run a whole seed matrix instead of one "
+                            "--seed; one verdict per seed, exit 1 if any "
+                            "fails (figure workloads only)")
+    chaos.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run the --seeds matrix over N worker "
+                            "processes (each seed is independent, so "
+                            "verdicts are identical to serial runs)")
     chaos.add_argument("--out", metavar="FILE",
                        help="also write the verdict JSON to FILE")
     chaos.add_argument("--retry-budget", type=int, default=64,
@@ -291,16 +330,55 @@ def _run_faults(args) -> int:
     return 0
 
 
+def _emit_verdict(verdict, out: Optional[str]) -> None:
+    text = verdict.to_json()
+    print(text)
+    if out:
+        directory = os.path.dirname(out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(out, "w") as f:
+            f.write(text + "\n")
+    print(verdict.summary(), file=sys.stderr)
+
+
 def _run_chaos(args) -> int:
+    from .bench.executor import run_chaos_matrix
     from .chaos import run_chaos, run_chaos_taskpool
 
     name = args.figure.lower()
+    if args.seeds and name == "taskpool":
+        print("--seeds matrices apply to figure workloads, not taskpool",
+              file=sys.stderr)
+        return 2
     try:
         if name == "taskpool":
             verdict = run_chaos_taskpool(
                 args.profile, args.seed, crashes=args.crashes,
                 tasks=args.tasks, workers=args.workers,
                 retry_budget=args.retry_budget)
+        elif args.seeds:
+            if not name.startswith("fig"):
+                name = f"fig{name}"
+            try:
+                seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+            except ValueError:
+                print(f"--seeds must be a comma-separated list of "
+                      f"integers, got {args.seeds!r}", file=sys.stderr)
+                return 2
+            verdicts = run_chaos_matrix(
+                name, args.profile, seeds, jobs=args.jobs,
+                retry_budget=args.retry_budget,
+                splice=args.self_test_splice)
+            failed = 0
+            for seed, verdict in verdicts.items():
+                _emit_verdict(
+                    verdict,
+                    f"{args.out}.seed{seed}" if args.out else None)
+                failed += 0 if verdict.passed else 1
+            print(f"seed matrix: {len(verdicts) - failed}/{len(verdicts)} "
+                  f"passed", file=sys.stderr)
+            return 0 if failed == 0 else 1
         else:
             if not name.startswith("fig"):
                 name = f"fig{name}"
@@ -311,16 +389,30 @@ def _run_chaos(args) -> int:
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    text = verdict.to_json()
-    print(text)
-    if args.out:
-        directory = os.path.dirname(args.out)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        with open(args.out, "w") as f:
-            f.write(text + "\n")
-    print(verdict.summary(), file=sys.stderr)
+    _emit_verdict(verdict, args.out)
     return 0 if verdict.passed else 1
+
+
+def _run_perf(args) -> int:
+    from .bench.perf import check_regression, load_bench, run_perf, \
+        write_bench
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_bench(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+    doc = run_perf(quick=args.quick, jobs=args.jobs, baseline=baseline)
+    write_bench(doc, args.out)
+    print(f"wrote {args.out}")
+    if baseline is not None and not check_regression(
+            doc, baseline, tolerance=args.tolerance):
+        print("error: kernel throughput regressed beyond tolerance",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -344,8 +436,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "chaos":
         return _run_chaos(args)
 
+    if args.command == "perf":
+        return _run_perf(args)
+
     scale = PAPER_SCALE if getattr(args, "full", False) else QUICK_SCALE
-    runner = FigureRunner(scale, backend=getattr(args, "backend", "sim"))
+    runner = FigureRunner(scale, backend=getattr(args, "backend", "sim"),
+                          jobs=getattr(args, "jobs", None))
     if getattr(args, "checkpoint", None):
         from .chaos import RunCheckpoint
         runner.checkpoint = RunCheckpoint(args.checkpoint,

@@ -57,7 +57,22 @@ class Environment:
 
     def schedule(self, event: Event, priority: int = NORMAL,
                  delay: float = 0.0) -> None:
-        """Queue ``event`` to be processed after ``delay`` time units."""
+        """Queue ``event`` to be processed after ``delay`` time units.
+
+        ``delay`` must not be negative: an event scheduled before ``now``
+        would make the clock run backwards for its callbacks.  The check
+        matters most after ``run(until=t)`` — the clock is advanced exactly
+        to ``t`` on return, so a caller that computed a delay from a stale
+        absolute timestamp would otherwise silently corrupt event order.
+        """
+        if delay < 0:
+            raise ValueError(
+                f"cannot schedule {event!r} at t={self._now + delay:g}, "
+                f"which is {-delay:g} time units before now "
+                f"({self._now:g}); events must not be scheduled in the "
+                f"past (typical cause: a delay computed from an absolute "
+                f"timestamp that went stale when run(until=...) advanced "
+                f"the clock)")
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
@@ -92,6 +107,14 @@ class Environment:
                 raise exc
             raise RuntimeError(exc)  # pragma: no cover - defensive
 
+    @staticmethod
+    def _reraise(event: Event) -> None:
+        """Surface an undefused failure (cold path of the inlined loops)."""
+        exc = event._value
+        if isinstance(exc, BaseException):
+            raise exc
+        raise RuntimeError(exc)  # pragma: no cover - defensive
+
     def run(self, until: Any = None) -> Any:
         """Run until the queue empties, time ``until`` passes, or an event fires.
 
@@ -100,13 +123,37 @@ class Environment:
           set exactly to ``until`` on return).
         * ``until`` is an :class:`Event` — run until it is processed and
           return its value (re-raising its exception on failure).
+
+        The loops below inline :meth:`step` for the no-tracer case: one
+        method call, one try/except, and one counter store per event are
+        measurable at millions of events per run.  Event semantics are
+        identical to calling :meth:`step` in a loop (``tests/simkit`` and
+        the pinned golden trace digest hold either way); when a tracer is
+        installed the loops delegate to :meth:`step` so the hook sees
+        every event.
         """
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+
         if until is None:
             try:
-                while True:
-                    self.step()
-            except EmptySchedule:
-                return None
+                while queue:
+                    if self.tracer is not None:
+                        self.events_processed += processed
+                        processed = 0
+                        self.step()
+                        continue
+                    self._now, _, _, event = pop(queue)
+                    processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        self._reraise(event)
+            finally:
+                self.events_processed += processed
+            return None
 
         if isinstance(until, Event):
             if until.callbacks is None:
@@ -114,15 +161,33 @@ class Environment:
                 if until._ok:
                     return until._value
                 raise until._value
-            stop = [False]
-            until.callbacks.append(lambda _evt: stop.__setitem__(0, True))
-            while not stop[0]:
-                try:
-                    self.step()
-                except EmptySchedule:
-                    raise RuntimeError(
-                        f"no scheduled events left but {until!r} was not triggered"
-                    ) from None
+            stop: List[Event] = []
+            until.callbacks.append(stop.append)
+            try:
+                while not stop:
+                    if self.tracer is not None:
+                        self.events_processed += processed
+                        processed = 0
+                        try:
+                            self.step()
+                        except EmptySchedule:
+                            raise RuntimeError(
+                                f"no scheduled events left but {until!r} "
+                                f"was not triggered") from None
+                        continue
+                    if not queue:
+                        raise RuntimeError(
+                            f"no scheduled events left but {until!r} was "
+                            f"not triggered")
+                    self._now, _, _, event = pop(queue)
+                    processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        self._reraise(event)
+            finally:
+                self.events_processed += processed
             if until._ok:
                 return until._value
             # The stop callback took delivery of the failure.
@@ -133,8 +198,22 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"until ({horizon}) must not be before now ({self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        try:
+            while queue and queue[0][0] <= horizon:
+                if self.tracer is not None:
+                    self.events_processed += processed
+                    processed = 0
+                    self.step()
+                    continue
+                self._now, _, _, event = pop(queue)
+                processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    self._reraise(event)
+        finally:
+            self.events_processed += processed
         self._now = horizon
         return None
 
@@ -144,8 +223,27 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` firing ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """Create a :class:`Timeout` firing ``delay`` time units from now.
+
+        Fast path for the kernel's dominant allocation: the object is
+        built field-by-field and pushed on the heap directly, skipping
+        the ``Timeout.__init__`` -> ``Event.__init__`` -> ``schedule``
+        call chain (three Python frames per storage round-trip leg).
+        Behaviour is identical to ``Timeout(self, delay, value)``.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event._delay = delay
+        heapq.heappush(
+            self._queue, (self._now + delay, NORMAL, next(self._eid), event)
+        )
+        return event
 
     def process(self, generator: ProcessGenerator,
                 name: Optional[str] = None) -> Process:

@@ -199,3 +199,55 @@ class TestRegistryDerivation:
     def test_registry_bodies_carry_docstrings(self):
         from repro.sim.clients import SimQueueClient
         assert "GetMsgCount" in SimQueueClient.get_message_count.__doc__
+
+
+class BeforeOnly(Interceptor):
+    """Overrides only ``before`` — after/failed stay the base no-ops."""
+
+    def __init__(self, trace):
+        self.trace = trace
+
+    def before(self, ctx):
+        self.trace.append("before-only")
+
+
+class TestPreboundHooks:
+    """Hook stacks are pre-bound at mutation time and skip base no-ops."""
+
+    def test_base_noop_hooks_are_skipped(self):
+        trace = []
+        pipe = Pipeline([BeforeOnly(trace)])
+        assert len(pipe._before_hooks) == 1
+        assert pipe._after_hooks == []
+        assert pipe._failed_hooks == []
+
+    def test_add_rebinds(self):
+        trace = []
+        pipe = Pipeline([])
+        pipe.run_before(_ctx())
+        assert trace == []
+        pipe.add(Recorder("late", trace))
+        pipe.run_before(_ctx())
+        assert trace == [("before", "late")]
+
+    def test_remove_rebinds(self):
+        trace = []
+        a, b = Recorder("a", trace), Recorder("b", trace)
+        pipe = Pipeline([a, b])
+        pipe.remove(a)
+        pipe.run_after(_ctx())
+        assert trace == [("after", "b")]
+
+    def test_add_first_rebinds_in_order(self):
+        trace = []
+        pipe = Pipeline([Recorder("tail", trace)])
+        pipe.add_first(Recorder("head", trace))
+        pipe.run_before(_ctx())
+        assert trace == [("before", "head"), ("before", "tail")]
+
+    def test_failed_still_sets_error_with_empty_stack(self):
+        pipe = Pipeline([BeforeOnly([])])
+        ctx = _ctx()
+        exc = ValueError("boom")
+        pipe.run_failed(ctx, exc)
+        assert ctx.error is exc

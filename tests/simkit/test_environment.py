@@ -162,3 +162,98 @@ class TestRunUntilEdgeCases:
         env.timeout(1)
         with pytest.raises(RuntimeError, match="tracer bug"):
             env.run()
+
+
+class TestScheduleGuards:
+    """The kernel refuses to rewind the clock (fast paths included)."""
+
+    def test_schedule_in_the_past_rejected(self, env):
+        env.timeout(5)
+        env.run()
+        e = env.event()
+        e._ok, e._value = True, None
+        with pytest.raises(ValueError, match="before now"):
+            env.schedule(e, delay=-2)
+
+    def test_schedule_error_names_the_time(self, env):
+        env.timeout(10)
+        env.run()
+        e = env.event()
+        e._ok, e._value = True, None
+        with pytest.raises(ValueError, match=r"t=7.*3.*before now.*10"):
+            env.schedule(e, delay=-3)
+
+    def test_timeout_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError, match="negative delay"):
+            env.timeout(-1)
+
+    def test_schedule_at_now_allowed(self, env):
+        e = env.event()
+        e._ok, e._value = True, None
+        env.schedule(e, delay=0)
+        env.run()
+        assert e.processed
+
+
+class TestKernelFastPaths:
+    """The inlined run() loops must behave exactly like step()-by-step."""
+
+    def test_events_processed_counts_match_step_loop(self):
+        def build():
+            env = Environment()
+
+            def worker(env):
+                for _ in range(5):
+                    yield env.timeout(1)
+
+            for _ in range(3):
+                env.process(worker(env))
+            return env
+
+        fast = build()
+        fast.run()
+
+        from repro.simkit import EmptySchedule
+        stepped = build()
+        try:
+            while True:
+                stepped.step()
+        except EmptySchedule:
+            pass
+        assert fast.events_processed == stepped.events_processed
+        assert fast.now == stepped.now
+
+    def test_events_processed_counted_with_tracer(self, env):
+        seen = []
+        env.tracer = lambda t, e: seen.append(t)
+        env.timeout(1)
+        env.timeout(2)
+        env.run()
+        assert env.events_processed == 2
+        assert seen == [1, 2]
+
+    def test_until_event_counter_flushed_on_failure(self, env):
+        e = env.event()
+
+        def failer(env):
+            yield env.timeout(1)
+            e.fail(ValueError("x"))
+
+        env.process(failer(env))
+        with pytest.raises(ValueError):
+            env.run(until=e)
+        assert env.events_processed >= 1
+
+    def test_timeout_fast_path_fields(self, env):
+        t = env.timeout(3, value="payload")
+        assert t.env is env and t.callbacks == []
+        assert t._ok and not t._defused
+        assert t._delay == 3
+        env.run(until=t)
+        assert env.now == 3
+
+    def test_failed_event_still_raises_from_fast_loop(self, env):
+        e = env.event()
+        e.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
