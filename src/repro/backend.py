@@ -35,8 +35,8 @@ from .pipeline import derive_client_class, locked_local_method, shim_method
 from .sim import SimStorageAccount
 from .simkit import Environment
 
-__all__ = ["Backend", "SimBackend", "EmulatorBackend", "BACKENDS",
-           "get_backend"]
+__all__ = ["Backend", "SimBackend", "EmulatorBackend", "GeoBackend",
+           "BACKENDS", "get_backend"]
 
 
 def _collect(config, recorders, trace=None) -> BenchResult:
@@ -95,12 +95,15 @@ class SimBackend(Backend):
 
     name = "sim"
 
-    def run(self, body_factory, config) -> BenchResult:
-        env = Environment()
-        account = SimStorageAccount(
+    def _make_account(self, env: Environment, config):
+        return SimStorageAccount(
             env, limits=config.limits, calibration=config.calibration,
             seed=config.seed, fifo_jitter_seed=config.fifo_jitter_seed,
         )
+
+    def run(self, body_factory, config) -> BenchResult:
+        env = Environment()
+        account = self._make_account(env, config)
         if config.instrument is not None:
             config.instrument(account)
         deployment = Deployment(
@@ -112,6 +115,33 @@ class SimBackend(Backend):
                           sim_worker_resolver(env)) as tracer:
             recorders = deployment.run()
         return _collect(config, recorders, trace=tracer)
+
+
+class GeoBackend(SimBackend):
+    """DES backend over a geo-replicated (RA-GRS) account.
+
+    Bodies run unchanged against :class:`~repro.geo.account.GeoAccount`
+    clients: every call crosses the primary's pipeline, mutations land
+    on the asynchronous replication log, and reads fall back to the
+    read-only secondary during region outages.  With no fault plan
+    installed the figures match the plain ``sim`` backend's shape
+    (primary timing is identical; the replicator runs in the
+    background), which makes this the drop-in way to regenerate a
+    figure *while* a region is failing.
+    """
+
+    name = "geo"
+
+    def __init__(self, lag_s: float = 2.0) -> None:
+        self.lag_s = lag_s
+
+    def _make_account(self, env: Environment, config):
+        from .geo import GeoAccount
+        return GeoAccount(
+            env, limits=config.limits, calibration=config.calibration,
+            seed=config.seed, fifo_jitter_seed=config.fifo_jitter_seed,
+            lag_s=self.lag_s,
+        )
 
 
 # -- emulator backend --------------------------------------------------------
@@ -277,7 +307,8 @@ class EmulatorBackend(Backend):
         return _collect(config, results, trace=tracer)
 
 
-BACKENDS = {"sim": SimBackend, "emulator": EmulatorBackend}
+BACKENDS = {"sim": SimBackend, "emulator": EmulatorBackend,
+            "geo": GeoBackend}
 
 
 def get_backend(backend) -> Backend:

@@ -45,7 +45,7 @@ from .runner import (
     run_chaos_taskpool,
 )
 from .schedule import ChaosSchedule, CrashEvent, build_schedule
-from .verdict import ChaosVerdict
+from .verdict import ChaosRunError, ChaosVerdict
 
 __all__ = [
     "RunCheckpoint",
@@ -69,5 +69,6 @@ __all__ = [
     "ChaosSchedule",
     "CrashEvent",
     "build_schedule",
+    "ChaosRunError",
     "ChaosVerdict",
 ]

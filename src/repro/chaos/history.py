@@ -170,8 +170,11 @@ class History:
                     continue
                 msg_id = rec.result.get("message_id")
                 if msg_id is None:
+                    # A lost put is *explained* when loss was injected or
+                    # the record was rewound by a forced geo failover.
                     events.append(("put_lost", queue,
-                                   "message_loss" in rec.faults))
+                                   any(f in rec.faults for f in
+                                       ("message_loss", "geo_failover"))))
                 else:
                     events.append(("put", queue, msg_id))
             elif rec.op in ("get_message", "get_messages"):

@@ -23,7 +23,7 @@ from ..storage import KB
 from .history import History, audit_account
 from .invariants import Violation, check_history
 from .schedule import ChaosSchedule, build_schedule
-from .verdict import ChaosVerdict
+from .verdict import ChaosRunError, ChaosVerdict
 
 __all__ = [
     "CHAOS_SCALE",
@@ -32,6 +32,21 @@ __all__ = [
     "run_chaos",
     "run_chaos_taskpool",
 ]
+
+
+def _crash_verdict(verdict: ChaosVerdict, label: str,
+                   exc: BaseException) -> ChaosRunError:
+    """Fold a harness crash into the partial verdict (never swallow it).
+
+    A crashed run must still surface its evidence: the violation is
+    appended, and the returned :class:`ChaosRunError` carries the partial
+    verdict so the CLI writes the JSON artifact before exiting nonzero.
+    """
+    verdict.violations.append(Violation(
+        "harness",
+        f"{label}: run crashed before checks completed: "
+        f"{type(exc).__name__}: {exc}"))
+    return ChaosRunError(f"chaos run {label} crashed: {exc}", verdict)
 
 #: Default per-op retry budget for the termination invariant.
 RETRY_BUDGET = 64
@@ -194,9 +209,16 @@ def run_chaos(figure: str, profile: str = "none", seed: int = 0, *,
     for kind in kinds:
         for workers in scale.worker_counts:
             label = f"{figure}:{kind}@{workers}"
-            run = _run_one(label, factories[kind], workers, scale=scale,
-                           schedule=schedule, retry_budget=retry_budget,
-                           backend=backend)
+            try:
+                run = _run_one(label, factories[kind], workers, scale=scale,
+                               schedule=schedule, retry_budget=retry_budget,
+                               backend=backend)
+            except Exception as exc:
+                verdict.counts = {
+                    "runs": len(runs),
+                    "audited_ops": sum(len(r.history.records) for r in runs),
+                }
+                raise _crash_verdict(verdict, label, exc) from exc
             runs.append(run)
             verdict.runs.append(label)
             verdict.violations.extend(
@@ -257,64 +279,68 @@ def run_chaos_taskpool(profile: str = "none", seed: int = 0, *,
     schedule = build_schedule(profile, seed=seed, crashes=crashes,
                               workers=workers,
                               crash_window=(2.0, max(3.0, 2.0 + 0.8 * busy)))
-    env = Environment()
-    account = SimStorageAccount(env, seed=seed)
-    plan = schedule.plan()
-    history = History()
-    plan.subscribe(history.on_fault)
-    account.cluster.set_fault_plan(plan)
-    _, metrics = attach_analytics(account.cluster)
-    tracer = Tracer(trace_id=f"chaos-taskpool-{profile}-{seed}",
-                    worker_resolver=sim_worker_resolver(env)).install(account)
-    audit_account(account, history)
-
-    def handler(ctx, payload):
-        yield ctx.sleep(work_s)
-        return payload
-
-    config = TaskPoolConfig(name=APP_NAME,
-                            visibility_timeout=visibility_timeout,
-                            idle_poll_interval=0.5)
-    app = TaskPoolApp(config, handler)
-    payloads = [f"task-{i}".encode() for i in range(tasks)]
-
-    fabric = Fabric(env, account)
-    web = fabric.deploy(app.web_role_body(payloads, poll_interval=0.5),
-                        instances=1, name="web")
-    pool = fabric.deploy(app.worker_role_body(), instances=workers,
-                         name="workers", contain_crashes=True)
-    supervisor = Supervisor(pool, recycle_delay=recycle_delay).start()
-
-    def crash_driver():
-        now = 0.0
-        for event in schedule.crashes:
-            if event.time > now:
-                yield env.timeout(event.time - now)
-                now = event.time
-            instance = pool.instances[event.role_id]
-            if instance.status is RoleStatus.RUNNING:
-                pool.fail_instance(event.role_id, cause="chaos kill")
-                history.crash_events.append(
-                    (env.now, "crash", event.role_id))
-
-    if schedule.crashes:
-        env.process(crash_driver(), name="chaos-crash-driver")
-    fabric.start_all()
-    web_done = web.all_done_event()
-    env.run(until=AnyOf(env, [web_done, env.timeout(horizon)]))
-    completed = web_done.callbacks is None  # processed => web finished
-    supervisor.stop()
-    # Let surviving workers observe the stop signal and exit cleanly.
-    env.run(until=env.timeout(config.idle_poll_interval * 4 + 2.0))
-    for record in supervisor.restarts:
-        history.crash_events.append(
-            (record.restarted_at, "restart", record.role_id))
-    history.crash_events.sort()
-    history.snapshot_final_state(account.state)
-
     verdict = ChaosVerdict(workload="taskpool", profile=profile, seed=seed,
                            runs=[f"taskpool@{workers}"],
                            schedules=[schedule.describe()])
+    history = History()
+    try:
+        env = Environment()
+        account = SimStorageAccount(env, seed=seed)
+        plan = schedule.plan()
+        plan.subscribe(history.on_fault)
+        account.cluster.set_fault_plan(plan)
+        _, metrics = attach_analytics(account.cluster)
+        tracer = Tracer(
+            trace_id=f"chaos-taskpool-{profile}-{seed}",
+            worker_resolver=sim_worker_resolver(env)).install(account)
+        audit_account(account, history)
+
+        def handler(ctx, payload):
+            yield ctx.sleep(work_s)
+            return payload
+
+        config = TaskPoolConfig(name=APP_NAME,
+                                visibility_timeout=visibility_timeout,
+                                idle_poll_interval=0.5)
+        app = TaskPoolApp(config, handler)
+        payloads = [f"task-{i}".encode() for i in range(tasks)]
+
+        fabric = Fabric(env, account)
+        web = fabric.deploy(app.web_role_body(payloads, poll_interval=0.5),
+                            instances=1, name="web")
+        pool = fabric.deploy(app.worker_role_body(), instances=workers,
+                             name="workers", contain_crashes=True)
+        supervisor = Supervisor(pool, recycle_delay=recycle_delay).start()
+
+        def crash_driver():
+            now = 0.0
+            for event in schedule.crashes:
+                if event.time > now:
+                    yield env.timeout(event.time - now)
+                    now = event.time
+                instance = pool.instances[event.role_id]
+                if instance.status is RoleStatus.RUNNING:
+                    pool.fail_instance(event.role_id, cause="chaos kill")
+                    history.crash_events.append(
+                        (env.now, "crash", event.role_id))
+
+        if schedule.crashes:
+            env.process(crash_driver(), name="chaos-crash-driver")
+        fabric.start_all()
+        web_done = web.all_done_event()
+        env.run(until=AnyOf(env, [web_done, env.timeout(horizon)]))
+        completed = web_done.callbacks is None  # processed => web finished
+        supervisor.stop()
+        # Let surviving workers observe the stop signal and exit cleanly.
+        env.run(until=env.timeout(config.idle_poll_interval * 4 + 2.0))
+        for record in supervisor.restarts:
+            history.crash_events.append(
+                (record.restarted_at, "restart", record.role_id))
+        history.crash_events.sort()
+        history.snapshot_final_state(account.state)
+    except Exception as exc:
+        verdict.counts = {"audited_ops": len(history.records)}
+        raise _crash_verdict(verdict, f"taskpool@{workers}", exc) from exc
     verdict.violations.extend(check_history(
         history, spans=tracer.spans, metrics=metrics,
         retry_budget=retry_budget, completed=completed))

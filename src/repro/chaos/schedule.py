@@ -61,6 +61,7 @@ class ChaosSchedule:
                     "kind": s.kind.value,
                     "service": s.service,
                     "partition": s.partition,
+                    "region": s.region,
                     "start": round(s.start, 3),
                     "duration": (None if s.duration == float("inf")
                                  else round(s.duration, 3)),
@@ -85,13 +86,18 @@ def build_schedule(profile: str, *, seed: int, jitter: float = 5.0,
     draw in ``[0, jitter)`` — the same profile lands differently against
     the workload per seed, while two runs with the same ``(profile,
     seed)`` are identical.  ``crashes`` worker-kill events are drawn
-    uniformly over ``crash_window`` against round-robin role ids.
+    uniformly over ``crash_window`` against round-robin role ids; when
+    the caller passes none, the profile's own ``crashes`` default applies
+    (the ``spot-eviction`` profile carries its evictions this way).
     """
     rng = np.random.default_rng(seed)
+    profile_obj = get_profile(profile)
+    if crashes == 0:
+        crashes = profile_obj.crashes
     specs = tuple(
         replace(spec, start=spec.start + float(rng.uniform(0.0, jitter)))
         if jitter > 0 else spec
-        for spec in get_profile(profile).specs
+        for spec in profile_obj.specs
     )
     crash_events: Tuple[CrashEvent, ...] = ()
     if crashes > 0:

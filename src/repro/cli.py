@@ -13,6 +13,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro chaos fig6 --profile queue-storm --seed 7
     python -m repro chaos fig6 --profile queue-storm --seeds 7,8,9 --jobs 3
     python -m repro chaos taskpool --profile lossy-queue --crashes 2
+    python -m repro chaos --profile region-outage --seeds 7,11
+    python -m repro geo --profile geo-failover --failover forced
     python -m repro perf --quick         # kernel + sweep perf, BENCH_core.json
 
 Exit codes are documented in ``docs/cli.md``: 0 success, 1 a run
@@ -153,10 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
                       "(or the bag-of-tasks app) under a seeded fault "
                       "schedule and check the conservation, integrity, "
                       "and termination invariants")
-    chaos.add_argument("figure", metavar="WORKLOAD",
+    chaos.add_argument("figure", metavar="WORKLOAD", nargs="?",
                        help='figure to stress: 4-9 ("fig6" also accepted), '
-                            'or "taskpool" for the bag-of-tasks app with '
-                            'worker-role crash/restart chaos')
+                            '"taskpool" for the bag-of-tasks app with '
+                            'worker-role crash/restart chaos, "geo" for '
+                            'the geo-replicated account campaign, or '
+                            '"elasticity" for autoscaling under region '
+                            'faults; may be omitted when --profile names '
+                            'a geo profile (the geo workload is implied)')
     chaos.add_argument("--profile", default="none",
                        help="fault profile (see 'faults list'; "
                             "default: none)")
@@ -184,9 +190,42 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crashes", type=int, default=2,
                        help="worker-role crash events (taskpool only)")
     chaos.add_argument("--tasks", type=int, default=16,
-                       help="bag-of-tasks size (taskpool only)")
+                       help="bag-of-tasks size (taskpool/elasticity)")
     chaos.add_argument("--workers", type=int, default=4,
-                       help="worker role instances (taskpool only)")
+                       help="worker role instances (taskpool/elasticity; "
+                            "geo uses its own writer count)")
+    chaos.add_argument("--failover", choices=["planned", "forced"],
+                       help="geo workload: trigger an account failover "
+                            "mid-run (default: the profile's own choice)")
+    chaos.add_argument("--lag", type=float, default=2.0, metavar="SECONDS",
+                       help="geo workload: asynchronous replication lag "
+                            "(default 2.0)")
+
+    geo = sub.add_parser(
+        "geo", help="geo-replicated account campaign: RA-GRS reads, "
+                    "region-outage chaos, replication-lag laws, planned "
+                    "or forced failover with bounded loss")
+    geo.add_argument("--profile", default="region-outage",
+                     help="geo fault profile (default: region-outage)")
+    geo.add_argument("--failover", choices=["planned", "forced"],
+                     help="trigger an account failover mid-run "
+                          "(default: the profile's own choice)")
+    geo.add_argument("--lag", type=float, default=2.0, metavar="SECONDS",
+                     help="asynchronous replication lag (default 2.0)")
+    geo.add_argument("--seed", type=int, default=0)
+    geo.add_argument("--workers", type=int, default=3,
+                     help="writer processes (default 3)")
+    geo.add_argument("--elasticity", action="store_true",
+                     help="run the autoscaling bag-of-tasks campaign "
+                          "instead of the storage conformance campaign")
+    geo.add_argument("--tasks", type=int, default=24,
+                     help="bag-of-tasks size (--elasticity only)")
+    geo.add_argument("--out", metavar="FILE",
+                     help="also write the verdict JSON to FILE")
+    geo.add_argument("--retry-budget", type=int, default=64)
+    geo.add_argument("--self-test-splice", action="store_true",
+                     help="splice a replication-log ship event out of a "
+                          "clean run; the GeoLedger must flag it")
 
     return parser
 
@@ -342,16 +381,79 @@ def _emit_verdict(verdict, out: Optional[str]) -> None:
     print(verdict.summary(), file=sys.stderr)
 
 
+#: Profiles that imply a geo workload when `repro chaos` is invoked
+#: without a WORKLOAD positional.
+_GEO_WORKLOADS = {
+    "region-outage": "geo",
+    "geo-failover": "geo",
+    "replication-stall": "geo",
+    "spot-eviction": "elasticity",
+}
+
+
+def _parse_seeds(text: str) -> Optional[List[int]]:
+    try:
+        return [int(s) for s in text.split(",") if s.strip()]
+    except ValueError:
+        return None
+
+
+def _run_geo_workload(args, name: str) -> int:
+    """Run the geo (or elasticity) campaign, one verdict per seed."""
+    from .geo import run_elasticity, run_geo_chaos
+
+    seeds = [args.seed]
+    if getattr(args, "seeds", None):
+        parsed = _parse_seeds(args.seeds)
+        if parsed is None:
+            print(f"--seeds must be a comma-separated list of integers, "
+                  f"got {args.seeds!r}", file=sys.stderr)
+            return 2
+        seeds = parsed
+    matrix = len(seeds) > 1 or bool(getattr(args, "seeds", None))
+    failed = 0
+    for seed in seeds:
+        if name == "elasticity":
+            verdict = run_elasticity(
+                args.profile, seed, tasks=args.tasks,
+                workers=args.workers, lag_s=args.lag,
+                retry_budget=args.retry_budget)
+        else:
+            verdict = run_geo_chaos(
+                args.profile, seed, lag_s=args.lag,
+                failover=args.failover,
+                retry_budget=args.retry_budget,
+                splice=args.self_test_splice)
+        out = args.out
+        if out and matrix:
+            out = f"{out}.seed{seed}"
+        _emit_verdict(verdict, out)
+        failed += 0 if verdict.passed else 1
+    if matrix:
+        print(f"seed matrix: {len(seeds) - failed}/{len(seeds)} passed",
+              file=sys.stderr)
+    return 0 if failed == 0 else 1
+
+
 def _run_chaos(args) -> int:
     from .bench.executor import run_chaos_matrix
-    from .chaos import run_chaos, run_chaos_taskpool
+    from .chaos import ChaosRunError, run_chaos, run_chaos_taskpool
 
-    name = args.figure.lower()
+    name = (args.figure or "").lower()
+    if not name:
+        name = _GEO_WORKLOADS.get(args.profile, "")
+        if not name:
+            print("a WORKLOAD is required unless --profile names a geo "
+                  "profile (region-outage, geo-failover, "
+                  "replication-stall, spot-eviction)", file=sys.stderr)
+            return 2
     if args.seeds and name == "taskpool":
         print("--seeds matrices apply to figure workloads, not taskpool",
               file=sys.stderr)
         return 2
     try:
+        if name in ("geo", "elasticity"):
+            return _run_geo_workload(args, name)
         if name == "taskpool":
             verdict = run_chaos_taskpool(
                 args.profile, args.seed, crashes=args.crashes,
@@ -360,9 +462,8 @@ def _run_chaos(args) -> int:
         elif args.seeds:
             if not name.startswith("fig"):
                 name = f"fig{name}"
-            try:
-                seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
-            except ValueError:
+            seeds = _parse_seeds(args.seeds)
+            if seeds is None:
                 print(f"--seeds must be a comma-separated list of "
                       f"integers, got {args.seeds!r}", file=sys.stderr)
                 return 2
@@ -386,11 +487,36 @@ def _run_chaos(args) -> int:
                 name, args.profile, args.seed,
                 retry_budget=args.retry_budget,
                 splice=args.self_test_splice)
+    except ChaosRunError as exc:
+        # The run crashed before the checks finished: still publish the
+        # partial verdict (schedule, counts, the harness violation) so a
+        # CI failure leaves evidence behind, then exit nonzero.
+        _emit_verdict(exc.verdict, args.out)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
     _emit_verdict(verdict, args.out)
     return 0 if verdict.passed else 1
+
+
+def _run_geo(args) -> int:
+    from .chaos import ChaosRunError
+    from .faults.profiles import PROFILES
+
+    if args.profile not in PROFILES:
+        print(f"unknown fault profile {args.profile!r}; see "
+              f"'repro faults list'", file=sys.stderr)
+        return 2
+    args.seeds = None
+    try:
+        return _run_geo_workload(
+            args, "elasticity" if args.elasticity else "geo")
+    except ChaosRunError as exc:
+        _emit_verdict(exc.verdict, args.out)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _run_perf(args) -> int:
@@ -435,6 +561,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "chaos":
         return _run_chaos(args)
+
+    if args.command == "geo":
+        return _run_geo(args)
 
     if args.command == "perf":
         return _run_perf(args)

@@ -1,5 +1,6 @@
 """Compute substrate: VM sizes (Table I), roles, deployments, the fabric."""
 
+from .autoscaler import Autoscaler
 from .deployment import Deployment, Fabric
 from .endpoints import Endpoint, EndpointError, EndpointRegistry, TcpMessage
 from .provisioning import ProvisionedStart, ProvisioningModel, provisioned_start
@@ -17,6 +18,7 @@ from .vmsizes import (
 )
 
 __all__ = [
+    "Autoscaler",
     "Deployment",
     "Fabric",
     "RoleBody",

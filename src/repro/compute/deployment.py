@@ -33,6 +33,8 @@ class Deployment:
         self.account = account
         self.name = name
         self.vm_size = vm_size
+        self.body = body
+        self.contain_crashes = contain_crashes
         self.instances: List[RoleInstance] = [
             RoleInstance(env, body, RoleContext(
                 env, role_id=i, instance_count=instances,
@@ -78,6 +80,34 @@ class Deployment:
     @property
     def failed_instances(self) -> List[RoleInstance]:
         return [i for i in self.instances if i.status is RoleStatus.FAILED]
+
+    # -- elasticity --------------------------------------------------------
+    def add_instance(self) -> RoleInstance:
+        """Scale out: append (and start, if running) one new instance.
+
+        The new instance gets the next ``role_id``; existing contexts keep
+        their original ``instance_count`` — role bodies must not assume
+        the fleet size is static (the paper's framework already doesn't:
+        task distribution is queue-pull, not id-partitioned).
+        """
+        role_id = len(self.instances)
+        instance = RoleInstance(self.env, self.body, RoleContext(
+            self.env, role_id=role_id, instance_count=role_id + 1,
+            account=self.account, vm_size=self.vm_size, role_name=self.name,
+        ), contain_crashes=self.contain_crashes)
+        self.instances.append(instance)
+        if self._started:
+            instance.start()
+        return instance
+
+    def retire_instance(self, role_id: int) -> None:
+        """Scale in, cooperatively: flag one instance to drain and exit.
+
+        The body observes :attr:`RoleContext.retire_requested` at its next
+        idle point and returns normally (status COMPLETED) — in-flight
+        work is finished, never abandoned.
+        """
+        self.instances[role_id].context.retire_requested = True
 
     # -- fault injection ---------------------------------------------------
     def fail_instance(self, role_id: int, cause: Any = "role recycled") -> None:

@@ -45,6 +45,11 @@ class RoleContext:
         self.account = account
         self.vm_size = vm_size
         self.role_name = role_name
+        #: Cooperative scale-in: an autoscaler (or operator) sets this;
+        #: long-running bodies check it at idle points and return cleanly
+        #: — the 2012 fabric's "delete role instance" was exactly such a
+        #: drain-then-remove.
+        self.retire_requested = False
 
     @property
     def now(self) -> float:

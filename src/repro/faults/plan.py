@@ -25,6 +25,7 @@ import numpy as np
 
 from ..storage.errors import (
     OperationTimedOutError,
+    RegionDownError,
     ServerBusyError,
     TransientServerError,
 )
@@ -99,6 +100,18 @@ class FaultPlan:
         """The event trace as plain tuples (stable, diffable)."""
         return [e.as_tuple() for e in self.events]
 
+    def record_external(self, kind: FaultKind, service: str, partition: str,
+                        now: float) -> None:
+        """Record a fault injected by a cooperating layer.
+
+        The geo stack (:mod:`repro.geo`) strips region-scale specs out of
+        the plan and injects them itself — through the routing interceptor
+        and the replication shipper — but reports every occurrence back
+        here so the reproducible trace and the listeners (span/fault
+        attribution) see one unified stream.
+        """
+        self._record(kind, service, partition, now)
+
     # -- fabric hook -------------------------------------------------------
     def pre_execute(self, op, now: float, cluster) -> Tuple[float, Optional[FaultSpec]]:
         """Consult the plan for one operation, before any time is charged.
@@ -117,9 +130,24 @@ class FaultPlan:
             if kind is FaultKind.PARTITION_CRASH:
                 self._check_crash(index, spec, op, now, cluster)
                 continue
+            if kind is FaultKind.REPLICATION_STALL:
+                # Interpreted by the geo replication shipper, never by the
+                # per-op data plane (a stall degrades freshness, not ops).
+                continue
             if not spec.active(now) or not spec.matches(service, op.partition):
                 continue
-            if kind is FaultKind.OUTAGE:
+            if kind is FaultKind.REGION_OUTAGE:
+                # On a geo account this spec is stripped out and handled by
+                # the routing interceptor; reaching it here means the
+                # account is single-region, where a region outage is a
+                # total outage of every service.
+                if self._sample(spec.probability):
+                    self._record(kind, service, op.partition, now)
+                    raise RegionDownError(
+                        f"{service} unavailable (injected region outage)",
+                        retry_after=self._retry_after(spec, cluster),
+                    )
+            elif kind is FaultKind.OUTAGE:
                 if self._sample(spec.probability):
                     self._record(kind, service, op.partition, now)
                     raise ServerBusyError(

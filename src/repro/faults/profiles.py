@@ -43,6 +43,10 @@ class FaultProfile:
     name: str
     description: str
     specs: Tuple[FaultSpec, ...]
+    #: Worker-role kill events the chaos scheduler should draw by default
+    #: (spot evictions); only meaningful for crash-tolerant workloads
+    #: (the bag-of-tasks app, elasticity campaigns).
+    crashes: int = 0
 
     def plan(self, *, seed: int = 0) -> FaultPlan:
         """Build a fresh (stateful) plan from this (stateless) profile."""
@@ -127,6 +131,46 @@ PROFILES: Dict[str, FaultProfile] = {p.name: p for p in (
          FaultSpec(kind=FaultKind.TIMEOUT, service="table", start=2.0,
                    duration=10.0, probability=0.05, timeout_after=2.0,
                    retry_after=1.0)),
+    ),
+    FaultProfile(
+        "region-outage",
+        "the primary region goes hard-down between t=4 s and t=24 s: every "
+        "primary op fails with 503 RegionUnavailable; a geo account serves "
+        "reads from the RA-GRS secondary and writes back off until the "
+        "region returns (single-region accounts just see a total outage)",
+        (FaultSpec(kind=FaultKind.REGION_OUTAGE, region="primary",
+                   start=4.0, duration=20.0, retry_after=1.0),),
+    ),
+    FaultProfile(
+        "geo-failover",
+        "geo shipping stalls at t=2 s, then the primary region dies at "
+        "t=6 s and never comes back; the campaign drives a forced "
+        "failover promoting the secondary, losing exactly the writes "
+        "acknowledged after the (stalled) Last Sync Time — the bounded "
+        "loss the 2012 contract allows",
+        (FaultSpec(kind=FaultKind.REPLICATION_STALL,
+                   start=2.0, duration=40.0),
+         FaultSpec(kind=FaultKind.REGION_OUTAGE, region="primary",
+                   start=6.0, duration=float("inf"), retry_after=1.0)),
+    ),
+    FaultProfile(
+        "replication-stall",
+        "geo-replication shipping stalls between t=3 s and t=18 s: the "
+        "primary keeps acknowledging writes while Last Sync Time freezes "
+        "(secondary staleness grows to the stall width plus the lag)",
+        (FaultSpec(kind=FaultKind.REPLICATION_STALL,
+                   start=3.0, duration=15.0),),
+    ),
+    FaultProfile(
+        "spot-eviction",
+        "three worker VMs are evicted mid-run (spot/low-priority reclaim) "
+        "while the queue service throttles 20% of ops for 10 s; the "
+        "supervisor recycles evicted roles and autoscaling replaces lost "
+        "capacity",
+        (FaultSpec(kind=FaultKind.THROTTLE, service="queue",
+                   start=2.0, duration=10.0, probability=0.2,
+                   retry_after=1.0),),
+        crashes=3,
     ),
     FaultProfile(
         "lossy-queue",

@@ -24,6 +24,15 @@ its background literature describe:
 * **MESSAGE_LOSS** — an acked ``PutMessage`` whose payload never lands.
 * **DUPLICATE_DELIVERY** — a gotten message is immediately re-exposed to
   other consumers (the at-least-once anomaly).
+* **REGION_OUTAGE** — a whole region (storage stamp) hard-down for a
+  window.  On a geo-replicated account (:mod:`repro.geo`) the spec's
+  ``region`` selects which endpoint dies and the geo routing layer may
+  serve reads from the surviving secondary; on a single-region account
+  it degrades to a plain OUTAGE of every service.
+* **REPLICATION_STALL** — the asynchronous geo-replication shipper stops
+  applying the log for the window; Last Sync Time freezes while the
+  primary keeps acknowledging writes (growing the forced-failover loss
+  bound).  A no-op on single-region accounts.
 """
 
 from __future__ import annotations
@@ -32,7 +41,8 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["FaultKind", "FaultSpec", "FaultEvent"]
+__all__ = ["FaultKind", "FaultSpec", "FaultEvent", "GEO_KINDS",
+           "QUEUE_ONLY_KINDS", "REGIONS"]
 
 
 class FaultKind(str, enum.Enum):
@@ -46,12 +56,22 @@ class FaultKind(str, enum.Enum):
     PARTITION_CRASH = "partition_crash"
     MESSAGE_LOSS = "message_loss"
     DUPLICATE_DELIVERY = "duplicate_delivery"
+    REGION_OUTAGE = "region_outage"
+    REPLICATION_STALL = "replication_stall"
 
 
 #: Kinds that only make sense against the queue service's data plane.
 QUEUE_ONLY_KINDS = frozenset({
     FaultKind.MESSAGE_LOSS, FaultKind.DUPLICATE_DELIVERY,
 })
+
+#: Kinds the geo layer (not the per-op fault engine) interprets.
+GEO_KINDS = frozenset({
+    FaultKind.REGION_OUTAGE, FaultKind.REPLICATION_STALL,
+})
+
+#: Valid values of :attr:`FaultSpec.region`.
+REGIONS = (None, "primary", "secondary")
 
 
 @dataclass(frozen=True)
@@ -79,6 +99,9 @@ class FaultSpec:
     failover_delay: float = 15.0
     #: Retry-After hint carried by injected 503s (None: fabric default).
     retry_after: Optional[float] = None
+    #: Geo faults: which region the fault hits (``None`` means "primary"
+    #: on a geo account; single-region accounts ignore the field).
+    region: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.kind, FaultKind):
@@ -98,6 +121,14 @@ class FaultSpec:
         if self.kind in QUEUE_ONLY_KINDS and self.service not in (None, "queue"):
             raise ValueError(f"{self.kind.value} faults only apply to the "
                              f"queue service, not {self.service!r}")
+        if self.region not in REGIONS:
+            raise ValueError(
+                f"region must be one of {REGIONS}, got {self.region!r}")
+        if self.region is not None and self.kind not in GEO_KINDS:
+            raise ValueError(
+                f"region targeting only applies to geo fault kinds "
+                f"({', '.join(sorted(k.value for k in GEO_KINDS))}), "
+                f"not {self.kind.value}")
 
     @property
     def end(self) -> float:

@@ -207,6 +207,11 @@ class TaskPoolApp:
             # don't stampede a single queue.
             queue_index = ctx.role_id % self.config.task_queues
             while True:
+                if getattr(ctx, "retire_requested", False):
+                    # Cooperative scale-in: the autoscaler asked us to
+                    # drain.  Between tasks is the safe exit point — the
+                    # in-flight task (if any) was finished and deleted.
+                    return processed
                 got_task = False
                 for attempt in range(self.config.task_queues):
                     queue = self.config.task_queue_name(

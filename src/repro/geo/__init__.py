@@ -1,0 +1,60 @@
+"""Geo-replicated storage accounts: RA-GRS, failover, and the geo ledger.
+
+The 2012 geo-distribution layer on the simulated fabric (Calder et al.,
+SOSP'11 §2.4 inter-stamp replication; the "geo redundant storage"
+preview of the paper's era):
+
+* :class:`GeoAccount` — a primary + RA-GRS read-only secondary pair with
+  asynchronous log-shipping replication and an exposed Last Sync Time;
+* :class:`GeoReplicator` / :class:`ReplicationLog` — the seeded,
+  deterministic inter-stamp shipper;
+* :class:`GeoController` — region outage routing, planned/forced
+  failover, bounded data loss;
+* :class:`GeoLedger` — the mergeable accounting monoid proving the
+  replication contract (durability at the watermark, prefix shipping,
+  lag-bounded staleness);
+* :func:`run_geo_chaos` / :func:`run_elasticity` — the chaos campaigns
+  behind ``repro chaos --profile region-outage|geo-failover|
+  replication-stall`` and the autoscaling elasticity scenario.
+"""
+
+from .account import (
+    GeoAccount,
+    GeoClient,
+    MUTATING_METHODS,
+    READ_FALLBACK_METHODS,
+)
+from .controller import MUTATING_KINDS, GeoController
+from .ledger import GeoLedger, geo_ledger_from_events
+from .replication import (
+    GeoReplicator,
+    ReplayClock,
+    ReplicationLog,
+    ReplicationRecord,
+)
+
+__all__ = [
+    "GeoAccount",
+    "GeoClient",
+    "GeoController",
+    "GeoLedger",
+    "GeoReplicator",
+    "MUTATING_KINDS",
+    "MUTATING_METHODS",
+    "READ_FALLBACK_METHODS",
+    "ReplayClock",
+    "ReplicationLog",
+    "ReplicationRecord",
+    "geo_ledger_from_events",
+    "run_elasticity",
+    "run_geo_chaos",
+]
+
+
+def __getattr__(name):
+    # The campaigns import the framework/compute layers; keep the core
+    # geo package importable without them (mirrors repro.faults).
+    if name in ("run_geo_chaos", "run_elasticity"):
+        from . import campaign
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -34,6 +34,8 @@ __all__ = [
     "AuthInterceptor",
     "AnalyticsInterceptor",
     "FaultInterceptor",
+    "GeoRoutingInterceptor",
+    "GeoSecondaryInterceptor",
     "ThrottleInterceptor",
 ]
 
@@ -232,6 +234,48 @@ class FaultInterceptor(Interceptor):
         if timeout_spec is not None and ctx.timeout_spec is None:
             ctx.timeout_spec = timeout_spec
             ctx.fault_plan = plan
+
+
+class GeoRoutingInterceptor(Interceptor):
+    """Region-scale routing on a geo account's *primary* pipeline.
+
+    Sits just before the ``faults`` stage and delegates every admission
+    decision to the account's :class:`~repro.geo.controller.GeoController`:
+    an open ``region_outage`` window (or a completed failover, which
+    decommissions the old primary) rejects the op with
+    :class:`~repro.storage.errors.RegionDownError`; a planned-failover
+    drain freezes mutations only.  The RA-GRS client
+    (:class:`~repro.geo.account.GeoClient`) catches the rejection and may
+    re-issue *reads* against the secondary endpoint.
+    """
+
+    name = "geo"
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+
+    def before(self, ctx: OpContext) -> None:
+        self.controller.check_primary(ctx)
+
+
+class GeoSecondaryInterceptor(Interceptor):
+    """RA-GRS semantics on a geo account's *secondary* pipeline.
+
+    Until the secondary is promoted, every mutating operation (including
+    ``GetMessage``, which consumes visibility) is rejected with
+    :class:`~repro.storage.errors.SecondaryReadOnlyError` — the 403 the
+    real ``-secondary`` endpoint returned; reads pass through.  After
+    promotion the endpoint is a full primary.  A ``region_outage`` window
+    scheduled against the secondary region rejects everything.
+    """
+
+    name = "geo"
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+
+    def before(self, ctx: OpContext) -> None:
+        self.controller.check_secondary(ctx)
 
 
 class ThrottleInterceptor(Interceptor):

@@ -6,7 +6,10 @@ retryable failures it OPENs and every attempt fails immediately with
 :class:`CircuitOpenError` (no fabric round trip, no back-off sleep).
 After ``reset_timeout`` simulated seconds it becomes HALF_OPEN: one
 trial attempt is admitted — success re-CLOSEs the breaker, failure
-re-OPENs it for another ``reset_timeout``.
+re-OPENs it for another ``reset_timeout``.  The trial is a *single*
+probe: while it is in flight every other caller is rejected, so a herd
+of concurrent workers sharing one breaker cannot all stampede a
+dependency that is still recovering.
 
 During a partition failover this converts thousands of doomed requests
 into instant local failures, which is exactly the retry-amplification
@@ -52,6 +55,8 @@ class CircuitBreaker:
         self.trips = 0
         #: Attempts rejected while OPEN.
         self.rejections = 0
+        #: The HALF_OPEN trial attempt currently in flight, if any.
+        self._probe_in_flight = False
 
     # -- gate --------------------------------------------------------------
     def before_attempt(self, now: float) -> None:
@@ -62,14 +67,29 @@ class CircuitBreaker:
                 self.rejections += 1
                 raise CircuitOpenError(
                     f"circuit open until t={retry_at:g}", retry_at=retry_at)
+            # Reset window elapsed: admit exactly one trial probe.
             self.state = BreakerState.HALF_OPEN
+            self._probe_in_flight = True
+        elif self.state is BreakerState.HALF_OPEN:
+            if self._probe_in_flight:
+                # Another caller's trial is still undecided.  Admitting
+                # more would let a whole worker herd through the
+                # half-open door at once — the outcome decides shortly,
+                # so concurrent callers fail fast and retry.
+                self.rejections += 1
+                raise CircuitOpenError(
+                    "circuit half-open: trial probe in flight",
+                    retry_at=now)
+            self._probe_in_flight = True
 
     # -- outcome reporting -------------------------------------------------
     def record_success(self, now: float) -> None:
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
+        self._probe_in_flight = False
 
     def record_failure(self, now: float) -> None:
+        self._probe_in_flight = False
         self.consecutive_failures += 1
         if (self.state is BreakerState.HALF_OPEN
                 or self.consecutive_failures >= self.failure_threshold):

@@ -14,8 +14,10 @@ __all__ = [
     "ServerBusyError",
     "TransientServerError",
     "OperationTimedOutError",
+    "RegionDownError",
     "RETRYABLE_ERRORS",
     "AuthenticationFailedError",
+    "SecondaryReadOnlyError",
     "ResourceNotFoundError",
     "ContainerNotFoundError",
     "BlobNotFoundError",
@@ -106,6 +108,21 @@ class OperationTimedOutError(StorageError):
         self.retry_after = retry_after
 
 
+class RegionDownError(ServerBusyError):
+    """An entire region (storage stamp) is unavailable.
+
+    Raised by the geo layer's routing interceptor
+    (:class:`~repro.pipeline.interceptors.GeoRoutingInterceptor`) while a
+    ``region_outage`` fault window is open against the active endpoint.
+    Subclasses :class:`ServerBusyError` so the paper's retry loops treat
+    it as retryable; an RA-GRS client may instead serve *reads* from the
+    secondary endpoint (:mod:`repro.geo`).
+    """
+
+    status_code = 503
+    error_code = "RegionUnavailable"
+
+
 #: Errors a well-behaved 2012 client retries (the SDK retry-policy set).
 RETRYABLE_ERRORS = (ServerBusyError, TransientServerError,
                     OperationTimedOutError)
@@ -120,6 +137,20 @@ class AuthenticationFailedError(StorageError):
 
     status_code = 403
     error_code = "AuthenticationFailed"
+
+
+class SecondaryReadOnlyError(AuthenticationFailedError):
+    """Write rejected by an RA-GRS read-only secondary endpoint.
+
+    The real service refuses writes against ``-secondary`` endpoints with
+    a 403 ``InsufficientAccountPermissions``; deliberately *not* in
+    :data:`RETRYABLE_ERRORS` — retrying a write against a read-only
+    replica can never succeed, the client must route to the primary (or
+    wait for a failover promotion).
+    """
+
+    status_code = 403
+    error_code = "InsufficientAccountPermissions"
 
 
 class ResourceNotFoundError(StorageError):

@@ -1,0 +1,56 @@
+"""A crash mid-campaign still leaves a verdict behind.
+
+When a chaos run dies before its checks complete, the harness raises
+:class:`ChaosRunError` carrying the partial :class:`ChaosVerdict`
+(schedule, counts so far, and a harness violation naming the crash) —
+so a CI failure is diagnosable from the artifact instead of a bare
+traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosRunError, run_chaos_taskpool
+from repro.chaos.history import History
+from repro.geo import run_geo_chaos
+
+
+@pytest.fixture
+def snapshot_crash(monkeypatch):
+    def boom(self, state):
+        raise RuntimeError("disk full")
+
+    monkeypatch.setattr(History, "snapshot_final_state", boom)
+
+
+def assert_partial(verdict, workload):
+    assert verdict.workload == workload
+    assert not verdict.passed
+    assert any("run crashed before checks completed" in v.message
+               and "disk full" in v.message for v in verdict.violations)
+    assert verdict.counts.get("audited_ops", 0) > 0
+    # The partial verdict must still serialize for the --out artifact.
+    assert json.loads(verdict.to_json())["passed"] is False
+
+
+def test_geo_crash_carries_partial_verdict(snapshot_crash):
+    with pytest.raises(ChaosRunError) as exc:
+        run_geo_chaos("region-outage", seed=7)
+    assert_partial(exc.value.verdict, "geo")
+    assert exc.value.verdict.schedules  # the schedule survived the crash
+
+
+def test_taskpool_crash_carries_partial_verdict(snapshot_crash):
+    with pytest.raises(ChaosRunError) as exc:
+        run_chaos_taskpool("none", seed=7, crashes=0, tasks=4, workers=2)
+    assert_partial(exc.value.verdict, "taskpool")
+
+
+def test_chaos_run_error_is_a_runtime_error():
+    from repro.chaos.verdict import ChaosVerdict
+
+    verdict = ChaosVerdict(workload="geo", profile="none", seed=0)
+    err = ChaosRunError("boom", verdict)
+    assert isinstance(err, RuntimeError)
+    assert err.verdict is verdict

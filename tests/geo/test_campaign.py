@@ -1,0 +1,91 @@
+"""End-to-end tests for the geo chaos and elasticity campaigns."""
+
+import json
+
+import pytest
+
+from repro.geo import run_elasticity, run_geo_chaos
+
+
+class TestGeoCampaign:
+    def test_region_outage_conforms(self):
+        verdict = run_geo_chaos("region-outage", seed=7)
+        assert verdict.passed, verdict.violations
+        assert verdict.workload == "geo"
+        # The outage actually bit: reads fell back to the secondary.
+        assert verdict.counts["secondary_reads"] > 0
+        assert verdict.counts["lost_records"] == 0
+        assert verdict.geo["promoted"] is False
+
+    def test_replication_stall_conforms(self):
+        verdict = run_geo_chaos("replication-stall", seed=7)
+        assert verdict.passed, verdict.violations
+        # The stall stretched apply times but the allowance covers it.
+        assert verdict.geo["staleness_allowance"] > verdict.geo["lag_s"]
+
+    def test_planned_failover_loses_nothing(self):
+        verdict = run_geo_chaos("geo-failover", seed=7, failover="planned")
+        assert verdict.passed, verdict.violations
+        assert verdict.geo["promoted"] is True
+        assert verdict.counts["lost_records"] == 0
+
+    def test_forced_failover_bounds_loss_at_the_watermark(self):
+        verdict = run_geo_chaos("geo-failover", seed=7)  # profile: forced
+        assert verdict.passed, verdict.violations
+        assert verdict.geo["promoted"] is True
+        assert verdict.geo["failover"] == "forced"
+        # The stall froze the watermark, so promotion stranded a real
+        # suffix — and every loss was exempted as lawful bounded loss.
+        assert verdict.counts["lost_records"] > 0
+        assert verdict.geo["exempted_records"] > 0
+
+    def test_splice_self_test_is_detected(self):
+        verdict = run_geo_chaos("region-outage", seed=7, splice=True)
+        assert not verdict.passed
+        assert verdict.counts["spliced"] == 1
+        assert any("geo-splice" in v.message for v in verdict.violations)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            run_geo_chaos("no-such-profile", seed=0)
+
+    def test_unknown_failover_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown failover mode"):
+            run_geo_chaos("region-outage", seed=0, failover="sideways")
+
+    def test_same_seed_verdicts_are_byte_identical(self):
+        a = run_geo_chaos("geo-failover", seed=11)
+        b = run_geo_chaos("geo-failover", seed=11)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_shift_the_schedule(self):
+        a = run_geo_chaos("region-outage", seed=7)
+        b = run_geo_chaos("region-outage", seed=8)
+        assert a.schedules != b.schedules
+
+    def test_verdict_json_round_trips(self):
+        verdict = run_geo_chaos("region-outage", seed=7)
+        doc = json.loads(verdict.to_json())
+        assert doc["workload"] == "geo"
+        assert doc["passed"] is True
+        assert doc["geo"]["account"] == "azurebench"
+        assert doc["counts"]["probes"] > 0
+
+
+class TestElasticityCampaign:
+    def test_scales_out_during_region_outage(self):
+        verdict = run_elasticity("region-outage", seed=7)
+        assert verdict.passed, verdict.violations
+        assert verdict.workload == "elasticity"
+        assert verdict.counts["scale_outs"] >= 1
+        assert verdict.counts["peak_workers"] > 2
+        assert verdict.counts["results_collected"] == verdict.counts["tasks"]
+
+    def test_same_seed_verdicts_are_byte_identical(self):
+        a = run_elasticity("region-outage", seed=7)
+        b = run_elasticity("region-outage", seed=7)
+        assert a.to_json() == b.to_json()
+
+    def test_spot_eviction_profile_survives_crashes(self):
+        verdict = run_elasticity("spot-eviction", seed=7)
+        assert verdict.passed, verdict.violations

@@ -1,0 +1,174 @@
+"""CLI wiring for the geo workloads: routing, exit codes, artifacts.
+
+Harness functions are monkeypatched with canned verdicts so the wiring
+is tested in milliseconds; the campaigns themselves are covered by
+``test_campaign.py``.
+"""
+
+import json
+
+import repro.geo as geo
+from repro.chaos import ChaosRunError
+from repro.chaos.invariants import Violation
+from repro.chaos.verdict import ChaosVerdict
+from repro.cli import build_parser, main
+
+
+def canned_verdict(workload="geo", passed=True):
+    verdict = ChaosVerdict(workload=workload, profile="region-outage",
+                           seed=7, runs=[f"{workload}:region-outage@3"],
+                           counts={"lost_records": 0})
+    if not passed:
+        verdict.violations.append(
+            Violation("geo-replication", "record 3 shipped twice"))
+    return verdict
+
+
+class TestParser:
+    def test_chaos_workload_is_optional(self):
+        args = build_parser().parse_args(
+            ["chaos", "--profile", "region-outage"])
+        assert args.figure is None
+
+    def test_chaos_geo_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "geo", "--profile", "geo-failover",
+             "--failover", "forced", "--lag", "3.5"])
+        assert args.failover == "forced" and args.lag == 3.5
+
+    def test_geo_subcommand_defaults(self):
+        args = build_parser().parse_args(["geo"])
+        assert args.profile == "region-outage"
+        assert args.failover is None and args.lag == 2.0
+        assert not args.elasticity and not args.self_test_splice
+
+
+class TestChaosGeoRouting:
+    def test_geo_profile_implies_geo_workload(self, monkeypatch):
+        seen = {}
+
+        def fake(profile, seed, **kwargs):
+            seen.update(kwargs, profile=profile, seed=seed)
+            return canned_verdict()
+
+        monkeypatch.setattr(geo, "run_geo_chaos", fake)
+        assert main(["chaos", "--profile", "region-outage",
+                     "--seed", "7"]) == 0
+        assert seen["profile"] == "region-outage" and seen["seed"] == 7
+
+    def test_spot_eviction_implies_elasticity(self, monkeypatch):
+        seen = {}
+
+        def fake(profile, seed, **kwargs):
+            seen["profile"] = profile
+            return canned_verdict("elasticity")
+
+        monkeypatch.setattr(geo, "run_elasticity", fake)
+        assert main(["chaos", "--profile", "spot-eviction"]) == 0
+        assert seen["profile"] == "spot-eviction"
+
+    def test_no_workload_and_no_geo_profile_exits_two(self, capsys):
+        assert main(["chaos", "--profile", "queue-storm"]) == 2
+        assert "WORKLOAD is required" in capsys.readouterr().err
+
+    def test_seed_matrix_runs_serially_per_seed(self, monkeypatch,
+                                                tmp_path, capsys):
+        seeds_run = []
+
+        def fake(profile, seed, **kwargs):
+            seeds_run.append(seed)
+            return canned_verdict()
+
+        monkeypatch.setattr(geo, "run_geo_chaos", fake)
+        out = str(tmp_path / "verdict.json")
+        assert main(["chaos", "--profile", "region-outage",
+                     "--seeds", "7,11", "--out", out]) == 0
+        assert seeds_run == [7, 11]
+        for seed in (7, 11):
+            with open(f"{out}.seed{seed}") as f:
+                assert json.loads(f.read())["seed"] == 7  # canned verdict
+        assert "seed matrix: 2/2 passed" in capsys.readouterr().err
+
+    def test_any_failing_seed_exits_one(self, monkeypatch):
+        verdicts = iter([canned_verdict(), canned_verdict(passed=False)])
+        monkeypatch.setattr(geo, "run_geo_chaos",
+                            lambda *a, **k: next(verdicts))
+        assert main(["chaos", "--profile", "region-outage",
+                     "--seeds", "7,11"]) == 1
+
+    def test_failover_and_lag_reach_the_harness(self, monkeypatch):
+        seen = {}
+
+        def fake(profile, seed, **kwargs):
+            seen.update(kwargs)
+            return canned_verdict()
+
+        monkeypatch.setattr(geo, "run_geo_chaos", fake)
+        assert main(["chaos", "geo", "--profile", "geo-failover",
+                     "--failover", "planned", "--lag", "1.5"]) == 0
+        assert seen["failover"] == "planned" and seen["lag_s"] == 1.5
+
+    def test_crash_emits_partial_verdict_then_exits_one(
+            self, monkeypatch, tmp_path, capsys):
+        verdict = canned_verdict()
+        verdict.violations.append(
+            Violation("harness", "geo:region-outage: run crashed before "
+                      "checks completed: RuntimeError: disk full"))
+
+        def fake(profile, seed, **kwargs):
+            raise ChaosRunError("geo:region-outage crashed", verdict)
+
+        monkeypatch.setattr(geo, "run_geo_chaos", fake)
+        out = str(tmp_path / "partial.json")
+        assert main(["chaos", "--profile", "region-outage",
+                     "--out", out]) == 1
+        captured = capsys.readouterr()
+        with open(out) as f:
+            doc = json.loads(f.read())
+        assert doc["passed"] is False
+        assert any("run crashed" in v["message"] for v in doc["violations"])
+        assert "error: geo:region-outage crashed" in captured.err
+
+
+class TestGeoSubcommand:
+    def test_routes_to_geo_campaign(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake(profile, seed, **kwargs):
+            seen.update(kwargs, profile=profile)
+            return canned_verdict()
+
+        monkeypatch.setattr(geo, "run_geo_chaos", fake)
+        assert main(["geo", "--profile", "geo-failover",
+                     "--failover", "forced"]) == 0
+        assert seen["profile"] == "geo-failover"
+        assert seen["failover"] == "forced"
+        assert json.loads(capsys.readouterr().out)["passed"] is True
+
+    def test_elasticity_flag_routes_to_elasticity(self, monkeypatch):
+        seen = {}
+
+        def fake(profile, seed, **kwargs):
+            seen.update(kwargs, profile=profile)
+            return canned_verdict("elasticity")
+
+        monkeypatch.setattr(geo, "run_elasticity", fake)
+        assert main(["geo", "--elasticity", "--tasks", "12"]) == 0
+        assert seen["tasks"] == 12
+
+    def test_unknown_profile_exits_two(self, capsys):
+        assert main(["geo", "--profile", "no-such"]) == 2
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_failing_verdict_exits_one(self, monkeypatch):
+        monkeypatch.setattr(geo, "run_geo_chaos",
+                            lambda *a, **k: canned_verdict(passed=False))
+        assert main(["geo"]) == 1
+
+    def test_crash_emits_partial_verdict(self, monkeypatch, capsys):
+        def fake(profile, seed, **kwargs):
+            raise ChaosRunError("crashed", canned_verdict(passed=False))
+
+        monkeypatch.setattr(geo, "run_geo_chaos", fake)
+        assert main(["geo"]) == 1
+        assert json.loads(capsys.readouterr().out)["passed"] is False

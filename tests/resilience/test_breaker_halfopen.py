@@ -1,0 +1,79 @@
+"""Regression tests for the half-open single-probe gate.
+
+A HALF_OPEN breaker admits exactly one trial attempt; until that probe
+reports back, every other caller is rejected.  Without the gate a herd
+of workers sharing one breaker would all rush the dependency the
+instant the reset window elapses — the stampede the breaker exists to
+prevent.
+"""
+
+import pytest
+
+from repro.resilience import BreakerState, CircuitBreaker, CircuitOpenError
+
+
+def tripped_breaker(now=0.0, reset=10.0):
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=reset)
+    breaker.before_attempt(now)
+    breaker.record_failure(now)
+    assert breaker.state is BreakerState.OPEN
+    return breaker
+
+
+def test_open_rejects_until_the_reset_window_elapses():
+    breaker = tripped_breaker()
+    with pytest.raises(CircuitOpenError) as exc:
+        breaker.before_attempt(5.0)
+    assert exc.value.retry_at == 10.0
+    assert breaker.rejections == 1
+
+
+def test_half_open_admits_exactly_one_probe():
+    breaker = tripped_breaker()
+    breaker.before_attempt(11.0)  # the trial probe
+    assert breaker.state is BreakerState.HALF_OPEN
+    # Concurrent callers while the probe is undecided: rejected, with
+    # retry_at "now" (the outcome lands shortly; retry immediately).
+    with pytest.raises(CircuitOpenError, match="trial probe in flight") as exc:
+        breaker.before_attempt(11.2)
+    assert exc.value.retry_at == 11.2
+    with pytest.raises(CircuitOpenError):
+        breaker.before_attempt(11.4)
+    assert breaker.rejections == 2
+
+
+def test_probe_success_recloses_and_readmits_everyone():
+    breaker = tripped_breaker()
+    breaker.before_attempt(11.0)
+    breaker.record_success(11.5)
+    assert breaker.state is BreakerState.CLOSED
+    # The herd flows again, no gate.
+    breaker.before_attempt(11.6)
+    breaker.before_attempt(11.6)
+    assert breaker.rejections == 0
+
+
+def test_probe_failure_reopens_for_another_window():
+    breaker = tripped_breaker()
+    breaker.before_attempt(11.0)
+    breaker.record_failure(11.5)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.trips == 2
+    with pytest.raises(CircuitOpenError) as exc:
+        breaker.before_attempt(12.0)
+    assert exc.value.retry_at == 21.5
+    # The next window admits a fresh single probe.
+    breaker.before_attempt(22.0)
+    assert breaker.state is BreakerState.HALF_OPEN
+    with pytest.raises(CircuitOpenError, match="trial probe in flight"):
+        breaker.before_attempt(22.1)
+
+
+def test_probe_flag_clears_on_failure_not_just_success():
+    """The in-flight flag must not leak across OPEN windows: a failed
+    probe re-opens, and the *next* window's probe is admitted."""
+    breaker = tripped_breaker()
+    breaker.before_attempt(11.0)
+    breaker.record_failure(11.0)
+    breaker.before_attempt(21.5)  # would raise if the flag leaked
+    assert breaker.state is BreakerState.HALF_OPEN

@@ -5,6 +5,7 @@ import pytest
 from repro.backend import (
     BACKENDS,
     EmulatorBackend,
+    GeoBackend,
     SimBackend,
     get_backend,
 )
@@ -20,9 +21,10 @@ from repro.storage import KB
 
 class TestGetBackend:
     def test_names(self):
-        assert set(BACKENDS) == {"sim", "emulator"}
+        assert set(BACKENDS) == {"sim", "emulator", "geo"}
         assert isinstance(get_backend("sim"), SimBackend)
         assert isinstance(get_backend("emulator"), EmulatorBackend)
+        assert isinstance(get_backend("geo"), GeoBackend)
 
     def test_instance_passthrough(self):
         backend = EmulatorBackend(time_scale=0.5)
@@ -65,6 +67,21 @@ class TestEmulatorBackendRuns:
 
     def test_sim_is_the_default_backend(self):
         assert RunConfig().backend == "sim"
+
+
+class TestGeoBackendRuns:
+    CFG = TableBenchConfig(entity_count=4, entity_sizes=(4 * KB,), seed=3)
+
+    def test_geo_timing_matches_sim(self):
+        """With no faults the geo backend's figures are bit-identical to
+        the sim backend's: bodies hit the same primary, and the
+        replicator costs nothing on the primary's clock."""
+        sim = run_bench(lambda: table_bench_body(self.CFG),
+                        RunConfig(workers=2, backend="sim"))
+        geo = run_bench(lambda: table_bench_body(self.CFG),
+                        RunConfig(workers=2, backend="geo"))
+        assert ([(r.name, r.start, r.end) for r in sim.records]
+                == [(r.name, r.start, r.end) for r in geo.records])
 
 
 class TestCliBackendFlag:
