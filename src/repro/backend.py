@@ -36,7 +36,7 @@ from .sim import SimStorageAccount
 from .simkit import Environment
 
 __all__ = ["Backend", "SimBackend", "EmulatorBackend", "GeoBackend",
-           "BACKENDS", "get_backend"]
+           "ServiceBackend", "BACKENDS", "get_backend"]
 
 
 def _collect(config, recorders, trace=None) -> BenchResult:
@@ -307,8 +307,153 @@ class EmulatorBackend(Backend):
         return _collect(config, results, trace=tracer)
 
 
+# -- service backend ---------------------------------------------------------
+
+class _ServiceEnv:
+    """The ``env`` surface for bodies running against a live cluster.
+
+    There is no local account clock here (state lives across sockets on
+    the data nodes), so virtual time is wall time since the run began,
+    divided by ``time_scale`` — the same contract as
+    :class:`EmulatorEnv`.
+    """
+
+    def __init__(self, time_scale: float) -> None:
+        self.time_scale = time_scale
+        self._origin = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return (time.monotonic() - self._origin) / self.time_scale
+
+    def timeout(self, delay: float = 0.0) -> _EmulatorTimeout:
+        return _EmulatorTimeout(delay)
+
+
+class _ServiceShimAccount:
+    """A live SN/DN cluster dressed up as a ``SimStorageAccount``.
+
+    Clients are the wire shims from :mod:`repro.service.client` — each
+    ``*_client()`` call opens its own signed HTTP connections, so every
+    worker thread talks to the cluster over its own sockets, like real
+    role instances would.
+    """
+
+    def __init__(self, endpoints_for, account: str, key: str,
+                 env: _ServiceEnv) -> None:
+        self._endpoints_for = endpoints_for
+        self._account = account
+        self._key = key
+        self.env = env
+        self._next = 0
+
+    def _connection(self):
+        from .service.client import ServiceConnection
+        endpoints = self._endpoints_for(self._next)
+        self._next += 1
+        return ServiceConnection(endpoints, self._account, self._key)
+
+    def _make(self, cls):
+        client = cls(self._connection())
+        client.env = self.env  # QueueBarrier's fallback clock source
+        return client
+
+    def blob_client(self):
+        from .service.client import WireBlobClient
+        return self._make(WireBlobClient)
+
+    def queue_client(self):
+        from .service.client import WireQueueClient
+        return self._make(WireQueueClient)
+
+    def table_client(self):
+        from .service.client import WireTableClient
+        return self._make(WireTableClient)
+
+    def cache_client(self):
+        raise NotImplementedError(
+            "the co-located cache has no wire protocol; run cache "
+            "workloads on the sim or emulator backend")
+
+
+class ServiceBackend(Backend):
+    """Threaded backend over a live in-process SN/DN cluster.
+
+    Each worker thread drives signed HTTP requests through the service
+    nodes, which route to the data-node shards — the full request path a
+    real 2012 deployment exercised (auth, routing, fan-out) minus the
+    datacenter network.  Like the emulator backend, timing is wall-clock
+    and machine-dependent; this backend validates the wire tier and the
+    benchmark bodies, not the paper's numbers.
+    """
+
+    name = "service"
+
+    def __init__(self, time_scale: float = 0.01, nodes: int = 1,
+                 dn: int = 2, enforce_targets: bool = False) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        self.time_scale = time_scale
+        self.nodes = nodes
+        self.dn = dn
+        self.enforce_targets = enforce_targets
+
+    def run(self, body_factory, config) -> BenchResult:
+        if config.trace:
+            raise NotImplementedError(
+                "tracing hooks into the in-process pipeline; the service "
+                "backend's pipeline lives across sockets — use --backend "
+                "sim or emulator for traced runs")
+        from .service import DEV_KEY, TenantConfig, TenantDirectory
+        from .service.cluster import ClusterRunner, ServiceCluster
+
+        tenants = TenantDirectory([TenantConfig.development(
+            limits=config.limits, enforce_targets=self.enforce_targets)])
+        cluster = ServiceCluster(
+            nodes=self.nodes, dn=self.dn, tenants=tenants,
+            fifo_jitter_seed=config.fifo_jitter_seed)
+        runner = ClusterRunner(cluster)
+        runner.start()
+        try:
+            env = _ServiceEnv(self.time_scale)
+            shim = _ServiceShimAccount(
+                lambda i: cluster.endpoints(i % self.nodes),
+                tenants.accounts()[0], DEV_KEY, env)
+            if config.instrument is not None:
+                config.instrument(shim)
+            body = body_factory()
+            results: List[object] = [None] * config.workers
+            failures: List[BaseException] = []
+
+            def work(role_id: int) -> None:
+                ctx = RoleContext(
+                    env, role_id=role_id, instance_count=config.workers,
+                    account=shim, vm_size=config.vm_size,
+                    role_name="azurebench",
+                )
+                try:
+                    results[role_id] = _trampoline(body(ctx), env)
+                except BaseException as exc:  # surfaced after join
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=work, args=(i,),
+                                 name=f"azurebench#{i}", daemon=True)
+                for i in range(config.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if failures:
+                raise failures[0]
+            return _collect(config, results)
+        finally:
+            runner.stop()
+
+
 BACKENDS = {"sim": SimBackend, "emulator": EmulatorBackend,
-            "geo": GeoBackend}
+            "geo": GeoBackend, "service": ServiceBackend}
 
 
 def get_backend(backend) -> Backend:

@@ -227,6 +227,55 @@ def build_parser() -> argparse.ArgumentParser:
                      help="splice a replication-log ship event out of a "
                           "clean run; the GeoLedger must flag it")
 
+    serve = sub.add_parser(
+        "serve", help="boot an SN/DN service cluster speaking the "
+                      "Azurite-compatible wire subset")
+    serve.add_argument("--nodes", type=int, default=1, metavar="N",
+                       help="service nodes (HTTP front-ends, default 1)")
+    serve.add_argument("--dn", type=int, default=2, metavar="M",
+                       help="data nodes (partition shards, default 2)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--blob-port", type=int, default=0,
+                       help="blob listener port for sn0 (default ephemeral)")
+    serve.add_argument("--queue-port", type=int, default=0,
+                       help="queue listener port for sn0 (default ephemeral)")
+    serve.add_argument("--table-port", type=int, default=0,
+                       help="table listener port for sn0 (default ephemeral)")
+    serve.add_argument("--account", help="extra tenant account name "
+                                         "(with --key; may repeat)",
+                       action="append", default=[])
+    serve.add_argument("--key", help="base64 key for each --account",
+                       action="append", default=[])
+    serve.add_argument("--no-throttles", action="store_true",
+                       help="disable per-tenant scalability-target "
+                            "enforcement")
+    serve.add_argument("--access-log", metavar="FILE",
+                       help="append per-request access log lines to FILE "
+                            "on shutdown")
+    serve.add_argument("--duration", type=float, metavar="SECONDS",
+                       help="exit after SECONDS (default: run until "
+                            "interrupted)")
+
+    sndn = sub.add_parser(
+        "sndn", help="DES scaling figure for the SN/DN topology: sweep "
+                     "front-end and shard counts over the modeled "
+                     "request path")
+    sndn.add_argument("--sn", default="1,2,4",
+                      help="service-node counts, comma-separated "
+                           "(default 1,2,4)")
+    sndn.add_argument("--dn", default="1,2,4,8",
+                      help="data-node counts, comma-separated "
+                           "(default 1,2,4,8)")
+    sndn.add_argument("--clients", type=int, default=32)
+    sndn.add_argument("--duration", type=float, default=30.0,
+                      help="simulated seconds per point (default 30)")
+    sndn.add_argument("--fanout", type=float, default=0.05,
+                      help="fraction of requests touching every shard "
+                           "(default 0.05)")
+    sndn.add_argument("--seed", type=int, default=0)
+    sndn.add_argument("--csv", metavar="DIR",
+                      help="also write the sweep as CSV into DIR")
+
     return parser
 
 
@@ -541,6 +590,89 @@ def _run_perf(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import time as _time
+
+    from .service import TenantConfig, TenantDirectory
+    from .service.cluster import ClusterRunner, ServiceCluster
+
+    if len(args.account) != len(args.key):
+        print("every --account needs a matching --key", file=sys.stderr)
+        return 2
+    enforce = not args.no_throttles
+    configs = [TenantConfig.development(enforce_targets=enforce)]
+    configs.extend(
+        TenantConfig(account, key, enforce_targets=enforce)
+        for account, key in zip(args.account, args.key))
+    ports = {}
+    for service, port in (("blob", args.blob_port),
+                          ("queue", args.queue_port),
+                          ("table", args.table_port)):
+        if port:
+            ports[service] = port
+    cluster = ServiceCluster(
+        nodes=args.nodes, dn=args.dn, tenants=TenantDirectory(configs),
+        host=args.host, ports=ports, access_log_path=args.access_log)
+    runner = ClusterRunner(cluster)
+    runner.start()
+    print(cluster.describe())
+    print("serving; interrupt to stop"
+          if args.duration is None else
+          f"serving for {args.duration:g} s")
+    sys.stdout.flush()
+    try:
+        if args.duration is None:
+            while True:
+                _time.sleep(3600)
+        else:
+            _time.sleep(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.stop()
+    return 0
+
+
+def _run_sndn(args) -> int:
+    from .service.topology import sweep_topology
+
+    try:
+        sn_counts = [int(v) for v in args.sn.split(",") if v]
+        dn_counts = [int(v) for v in args.dn.split(",") if v]
+    except ValueError:
+        print("--sn/--dn take comma-separated integers", file=sys.stderr)
+        return 2
+    results = sweep_topology(
+        sn_counts, dn_counts, clients=args.clients,
+        duration_s=args.duration, seed=args.seed,
+        fanout_fraction=args.fanout)
+
+    header = (f"SN/DN topology scaling — {args.clients} closed-loop "
+              f"clients, {args.duration:g} s horizon, "
+              f"{args.fanout:.0%} fan-out")
+    print(header)
+    print(f"  {'SNs':>4} {'DNs':>4} {'req/s':>10} "
+          f"{'mean ms':>9} {'p95 ms':>9}")
+    rows = []
+    for (sn, dn), r in sorted(results.items()):
+        print(f"  {sn:4d} {dn:4d} {r.throughput_rps:10.0f} "
+              f"{r.mean_latency_s * 1e3:9.2f} "
+              f"{r.p95_latency_s * 1e3:9.2f}")
+        rows.append((sn, dn, r))
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+        path = os.path.join(args.csv, "sndn_topology.csv")
+        with open(path, "w") as f:
+            f.write("service_nodes,data_nodes,throughput_rps,"
+                    "mean_latency_s,p95_latency_s,completed\n")
+            for sn, dn, r in rows:
+                f.write(f"{sn},{dn},{r.throughput_rps:.3f},"
+                        f"{r.mean_latency_s:.6f},{r.p95_latency_s:.6f},"
+                        f"{r.completed}\n")
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -567,6 +699,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "perf":
         return _run_perf(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "sndn":
+        return _run_sndn(args)
 
     scale = PAPER_SCALE if getattr(args, "full", False) else QUICK_SCALE
     runner = FigureRunner(scale, backend=getattr(args, "backend", "sim"),

@@ -42,7 +42,8 @@ laws).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 __all__ = ["GeoLedger", "geo_ledger_from_events"]
@@ -130,7 +131,13 @@ class GeoLedger:
                     out.append(
                         f"record {seq} applied at {apply_t:.6f}, before "
                         f"its acknowledgement at {ack_t:.6f} (time travel)")
-                elif max_lag is not None and apply_t - ack_t > max_lag:
+                elif (max_lag is not None
+                      and apply_t - ack_t > max_lag
+                      and not math.isclose(apply_t - ack_t, max_lag,
+                                           rel_tol=1e-9, abs_tol=1e-9)):
+                    # The tolerance forgives float rounding only: an
+                    # apply at exactly ack + lag must not be flagged
+                    # because (ack + lag) - ack landed one ULP high.
                     out.append(
                         f"record {seq} applied {apply_t - ack_t:.3f}s "
                         f"after its ack, beyond the {max_lag:.3f}s "

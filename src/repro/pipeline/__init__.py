@@ -16,7 +16,12 @@ from .interceptors import (
     ThrottleInterceptor,
 )
 from .registry import OPERATIONS, OpCall, OpSpec
-from .executors import BlockingExecutor, SimExecutor
+from .executors import (
+    AsyncExecutor,
+    BlockingExecutor,
+    SimExecutor,
+    drive_operation,
+)
 from .clients import (
     blocking_method,
     derive_client_class,
@@ -39,6 +44,8 @@ __all__ = [
     "OpSpec",
     "SimExecutor",
     "BlockingExecutor",
+    "AsyncExecutor",
+    "drive_operation",
     "derive_client_class",
     "sim_method",
     "blocking_method",

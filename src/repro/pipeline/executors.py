@@ -1,4 +1,4 @@
-"""The two thin executors driving operation bodies through the pipeline.
+"""The thin executors driving operation bodies through the pipeline.
 
 An executor owns the *how* of a round trip; the operation bodies in
 :mod:`repro.pipeline.registry` own the *what*.
@@ -14,6 +14,17 @@ An executor owns the *how* of a round trip; the operation bodies in
   model — the only time consumed is real time (optional artificial
   latency, and injected TIMEOUT faults, which burn their budget on the
   account clock).
+* :class:`AsyncExecutor` — the service-tier path: one data-node event
+  loop drives the same sequence without a lock (the loop itself
+  serializes operations); injected TIMEOUT budgets burn as
+  ``asyncio.sleep`` awaits so other requests keep flowing.
+
+The prepare → interceptors → apply sequence itself lives in
+:func:`drive_operation`, a generator shared by the blocking and async
+executors: it yields the seconds of any injected timeout budget and lets
+the caller decide *how* to burn them (``time.sleep``, ``clock.advance``,
+or ``await asyncio.sleep``).  Emulator threads and data-node event loops
+therefore execute byte-for-byte the same state-machine code.
 """
 
 from __future__ import annotations
@@ -23,7 +34,8 @@ import time
 
 from .context import OpContext
 
-__all__ = ["SimExecutor", "BlockingExecutor"]
+__all__ = ["SimExecutor", "BlockingExecutor", "AsyncExecutor",
+           "drive_operation"]
 
 
 class SimExecutor:
@@ -37,6 +49,50 @@ class SimExecutor:
     def charge(self, desc):
         """Simkit sub-generator: burn the op's simulated round trip."""
         yield from self.cluster.execute(desc)
+
+
+def drive_operation(spec, call, args, kwargs, *, pipeline, clock,
+                    backend: str, worker=None):
+    """The backend-agnostic core of one non-DES round trip.
+
+    A generator: runs prepare, the interceptor ``before`` chain, then —
+    if a TIMEOUT fault fired — **yields the seconds to burn** and, once
+    resumed, raises the recorded timeout error.  Otherwise it runs the
+    ``after`` chain and applies the state change, returning the op
+    result via ``StopIteration``.  Exactly one caller-visible yield can
+    occur, and only on the timeout path.
+
+    Both :class:`BlockingExecutor` (emulator threads) and
+    :class:`AsyncExecutor` (data-node event loops) drive this one
+    function, so the storage state machines and the interceptor
+    contract cannot drift between the two.
+    """
+    gen = spec.body(call, *args, **kwargs)
+    desc = next(gen)  # prepare: validation errors raise here
+    ctx = OpContext(op=desc, backend=backend,
+                    started_at=clock.now(), worker=worker)
+    try:
+        pipeline.run_before(ctx)
+        if ctx.timeout_spec is not None:
+            # The request is doomed: it consumes the timeout budget
+            # (the server never completes the work).
+            yield ctx.timeout_spec.timeout_after
+            raise ctx.fault_plan.record_timeout(
+                ctx.timeout_spec, desc, clock.now())
+    except BaseException as exc:
+        gen.close()
+        ctx.finished_at = clock.now()
+        pipeline.run_failed(ctx, exc)
+        raise
+    ctx.finished_at = clock.now()
+    pipeline.run_after(ctx)
+    try:
+        gen.send(None)  # apply at the completion instant
+    except StopIteration as stop:
+        return stop.value
+    gen.close()
+    raise RuntimeError(
+        f"operation body {spec.name!r} yielded more than once")
 
 
 class BlockingExecutor:
@@ -60,31 +116,64 @@ class BlockingExecutor:
         account = self.account
         account._maybe_sleep()
         with account._lock:
-            gen = spec.body(call, *args, **kwargs)
-            desc = next(gen)  # prepare: validation errors raise here
-            clock = account.state.clock
-            ctx = OpContext(op=desc, backend=self.backend,
-                            started_at=clock.now(),
-                            worker=threading.current_thread().name)
+            drive = drive_operation(
+                spec, call, args, kwargs,
+                pipeline=account.pipeline, clock=account.state.clock,
+                backend=self.backend,
+                worker=threading.current_thread().name)
             try:
-                account.pipeline.run_before(ctx)
-                if ctx.timeout_spec is not None:
-                    # The request is doomed: it consumes the timeout budget
-                    # (the server never completes the work).
-                    self._burn(ctx.timeout_spec.timeout_after)
-                    raise ctx.fault_plan.record_timeout(
-                        ctx.timeout_spec, desc, clock.now())
-            except BaseException as exc:
-                gen.close()
-                ctx.finished_at = clock.now()
-                account.pipeline.run_failed(ctx, exc)
-                raise
-            ctx.finished_at = clock.now()
-            account.pipeline.run_after(ctx)
-            try:
-                gen.send(None)  # apply at the completion instant
+                burn_seconds = next(drive)
             except StopIteration as stop:
                 return stop.value
-            gen.close()
-            raise RuntimeError(
-                f"operation body {spec.name!r} yielded more than once")
+            self._burn(burn_seconds)
+            try:
+                drive.send(None)  # resumes into the timeout raise
+            except StopIteration as stop:  # pragma: no cover - defensive
+                return stop.value
+            raise RuntimeError(  # pragma: no cover - drive always raises
+                f"operation body {spec.name!r} survived its timeout")
+
+
+class AsyncExecutor:
+    """Data-node executor: the event loop serializes, awaits burn time.
+
+    The owning node exposes ``state`` (a
+    :class:`~repro.storage.account.StorageAccountState`) and ``pipeline``
+    (its interceptor stack); operations run to completion between
+    awaits, so — exactly like the DES and the emulator's lock — no two
+    state-machine mutations interleave.  Only an injected TIMEOUT
+    budget suspends mid-operation, *after* the failure verdict is
+    already decided, so the interleaving cannot produce states the
+    other backends could not.
+    """
+
+    backend = "service"
+
+    def __init__(self, state, pipeline) -> None:
+        self.state = state
+        self.pipeline = pipeline
+
+    async def _burn(self, seconds: float) -> None:
+        clock = self.state.clock
+        if hasattr(clock, "advance"):
+            clock.advance(seconds)  # ManualClock: tests stay instant
+        else:
+            import asyncio
+            await asyncio.sleep(seconds)
+
+    async def run(self, spec, call, args, kwargs, *, worker=None):
+        drive = drive_operation(
+            spec, call, args, kwargs,
+            pipeline=self.pipeline, clock=self.state.clock,
+            backend=self.backend, worker=worker)
+        try:
+            burn_seconds = next(drive)
+        except StopIteration as stop:
+            return stop.value
+        await self._burn(burn_seconds)
+        try:
+            drive.send(None)  # resumes into the timeout raise
+        except StopIteration as stop:  # pragma: no cover - defensive
+            return stop.value
+        raise RuntimeError(  # pragma: no cover - drive always raises
+            f"operation body {spec.name!r} survived its timeout")

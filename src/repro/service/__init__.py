@@ -1,0 +1,49 @@
+"""The networked SN/DN service tier with an Azurite-compatible wire.
+
+This package promotes the in-process emulator into a small distributed
+system shaped like the real storage service (and like HSDS's
+service-node / data-node split):
+
+* **Service nodes** (:mod:`~repro.service.servicenode`) — stateless HTTP
+  front-ends: SharedKey auth, per-tenant ``auth -> analytics ->
+  throttles`` pipelines, partition routing, fan-out merges.
+* **Data nodes** (:mod:`~repro.service.datanode`) — the shards owning
+  partition sets, executing ops through the same registry pipeline the
+  emulator and the DES drive.
+* **Wire** (:mod:`~repro.service.wire`) — the 2012-02-12 Azurite subset:
+  enough Blob/Queue/Table REST that period SDKs (or raw HTTP) work.
+
+``repro serve`` boots a cluster from the CLI; ``--backend service`` runs
+any figure workload against one in-process.
+"""
+
+from .cluster import ClusterRunner, ServiceCluster
+from .client import (
+    ServiceConnection,
+    WireBlobClient,
+    WireQueueClient,
+    WireTableClient,
+)
+from .datanode import DataNode, DataNodeClient
+from .servicenode import SERVICES, ServiceNode
+from .sharedkey import DEV_ACCOUNT, DEV_KEY, SignatureError
+from .tenants import Tenant, TenantConfig, TenantDirectory
+
+__all__ = [
+    "ServiceCluster",
+    "ClusterRunner",
+    "ServiceConnection",
+    "WireBlobClient",
+    "WireQueueClient",
+    "WireTableClient",
+    "DataNode",
+    "DataNodeClient",
+    "ServiceNode",
+    "SERVICES",
+    "Tenant",
+    "TenantConfig",
+    "TenantDirectory",
+    "DEV_ACCOUNT",
+    "DEV_KEY",
+    "SignatureError",
+]

@@ -1,0 +1,174 @@
+"""Synchronous wire clients: the registry surface over real HTTP.
+
+:class:`ServiceConnection` is a minimal 2012-era SDK: one keep-alive
+``http.client`` connection per service, SharedKey signing on every
+request, and error bodies decoded back into the same
+:mod:`repro.storage.errors` hierarchy the in-process backends raise — so
+retry loops and fault-handling benchmark bodies run unchanged.
+
+The ``Wire*Client`` classes are derived from the operation registry like
+every other backend's clients: each method encodes its call through
+:mod:`repro.service.wire`, sends it, and parses the reply.  They are
+generator *shims* (never-yielding, like the emulator's), so sim-style
+bodies (``yield from client.op(...)``) drive a live cluster unchanged.
+
+A connection is **not** thread-safe; give each worker thread its own
+(the ``ServiceBackend`` does).
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+from typing import Any, Dict, Mapping, Tuple
+from urllib.parse import quote
+
+from ..pipeline import OpSpec, derive_client_class
+from . import sharedkey
+from .wire import ENCODERS, WIRE_VERSION, WireCall, _http_date, \
+    response_to_error
+
+__all__ = [
+    "ServiceConnection",
+    "WireBlobClient",
+    "WireQueueClient",
+    "WireTableClient",
+]
+
+
+class ServiceConnection:
+    """Signed keep-alive HTTP connections to one service node."""
+
+    def __init__(self, endpoints: Mapping[str, Tuple[str, int]],
+                 account: str = sharedkey.DEV_ACCOUNT,
+                 key: str = sharedkey.DEV_KEY, *,
+                 timeout: float = 30.0) -> None:
+        self.endpoints = dict(endpoints)
+        self.account = account
+        self.key = key
+        self.timeout = timeout
+        self._conns: Dict[str, http.client.HTTPConnection] = {}
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            conn.close()
+        self._conns.clear()
+
+    def _connection(self, service: str) -> http.client.HTTPConnection:
+        conn = self._conns.get(service)
+        if conn is None:
+            host, port = self.endpoints[service]
+            conn = http.client.HTTPConnection(host, port,
+                                              timeout=self.timeout)
+            self._conns[service] = conn
+        return conn
+
+    def exchange(self, call: WireCall) -> Any:
+        """Send one encoded call; return its parsed result or raise."""
+        path = f"/{self.account}{call.path}"
+        query = {k: str(v) for k, v in call.query.items()}
+        headers = dict(call.headers)
+        headers["x-ms-date"] = _http_date(time.time())
+        headers["x-ms-version"] = WIRE_VERSION
+        signable = dict(headers)
+        signable["Content-Length"] = str(len(call.body))
+        headers["Authorization"] = sharedkey.sign_request(
+            self.account, self.key, call.method, path, query,
+            signable, table_flavor=(call.service == "table"))
+        target = path
+        if query:
+            target += "?" + "&".join(
+                f"{quote(k, safe='')}={quote(v, safe='')}"
+                for k, v in query.items())
+        status, resp_headers, body = self._send(
+            call.service, call.method, target, headers, call.body)
+        if status >= 400:
+            raise response_to_error(status, resp_headers, body,
+                                    table=(call.service == "table"))
+        return call.parse(status, resp_headers, body)
+
+    def _send(self, service: str, method: str, target: str,
+              headers: Mapping[str, str], body: bytes):
+        for attempt in (0, 1):
+            conn = self._connection(service)
+            try:
+                conn.request(method, target, body=body or None,
+                             headers=dict(headers))
+                resp = conn.getresponse()
+                payload = resp.read()
+            except (ConnectionError, http.client.BadStatusLine,
+                    http.client.CannotSendRequest, BrokenPipeError):
+                # A stale keep-alive socket; rebuild it once.
+                conn.close()
+                del self._conns[service]
+                if attempt:
+                    raise
+                continue
+            lower = {k.lower(): v for k, v in resp.getheaders()}
+            return resp.status, lower, payload
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+
+def _wire_shim_method(spec: OpSpec):
+    """Never-yielding generator sending ``spec`` over the wire."""
+    name = spec.name
+
+    def method(self, *args, **kwargs):
+        return self._invoke(name, args, kwargs)
+        yield  # pragma: no cover -- marks this as a generator function
+
+    method.__name__ = name
+    method.__doc__ = spec.body.__doc__
+    return method
+
+
+def _wire_local_method(spec: OpSpec):
+    """Registry-local reads still cross the wire here (the state is
+    remote), but stay plain calls like on every other backend."""
+    name = spec.name
+
+    def method(self, *args, **kwargs):
+        return self._invoke(name, args, kwargs)
+
+    method.__name__ = name
+    method.__doc__ = spec.body.__doc__
+    return method
+
+
+class _WireClientBase:
+    """Plumbing every derived wire client shares."""
+
+    kind = ""
+
+    def __init__(self, connection: ServiceConnection) -> None:
+        self.connection = connection
+        self.env = None  # the backend sets this (QueueBarrier clock source)
+
+    def _invoke(self, op: str, args: tuple, kwargs: dict):
+        builder = ENCODERS.get((self.kind, op))
+        if builder is None:
+            raise NotImplementedError(
+                f"{self.kind}.{op} has no wire encoding; run this "
+                f"workload on the sim or emulator backend")
+        return self.connection.exchange(builder(*args, **kwargs))
+
+
+_WIRE_DOC = "Registry client over the service tier's HTTP wire."
+
+WireBlobClient = derive_client_class(
+    "WireBlobClient", "blob", _WireClientBase,
+    method_factory=_wire_shim_method, local_factory=_wire_local_method,
+    doc=_WIRE_DOC)
+WireBlobClient.kind = "blob"
+
+WireQueueClient = derive_client_class(
+    "WireQueueClient", "queue", _WireClientBase,
+    method_factory=_wire_shim_method, local_factory=_wire_local_method,
+    doc=_WIRE_DOC)
+WireQueueClient.kind = "queue"
+
+WireTableClient = derive_client_class(
+    "WireTableClient", "table", _WireClientBase,
+    method_factory=_wire_shim_method, local_factory=_wire_local_method,
+    doc=_WIRE_DOC)
+WireTableClient.kind = "table"

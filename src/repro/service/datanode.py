@@ -1,0 +1,243 @@
+"""Data nodes: the shards that own partitions and execute operations.
+
+A data node is one asyncio TCP server holding the *storage state
+machines* for every account, sharded by partition key: the service
+nodes route each operation to the DN that owns its partition (or
+broadcast namespace operations to all DNs).  Operations execute through
+the registry pipeline via :class:`~repro.pipeline.executors.AsyncExecutor`
+— the same ``prepare -> interceptors -> apply`` drive the emulator's
+threads use, so the two tiers cannot diverge semantically.
+
+The internal SN->DN protocol is deliberately dumb: length-prefixed
+pickle frames carrying ``(account, client, op, args, kwargs)`` one way
+and ``("ok", result)`` / ``("storage-err", payload)`` the other.  It is
+a trusted, same-deployment link (like HSDS's internal DN traffic), so
+fidelity lives at the *wire* tier, not here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from ..pipeline import (
+    AsyncExecutor,
+    FaultInterceptor,
+    OPERATIONS,
+    OpCall,
+    Pipeline,
+)
+from ..storage import StorageAccountState, WallClock
+from ..storage.blob.state import PageBlobState
+from ..storage.cache import CacheServiceState
+from ..storage.errors import StorageError
+from ..storage.limits import LIMITS_2012
+from .wire import error_to_payload, payload_to_error
+
+__all__ = ["DataNode", "DataNodeClient"]
+
+_LEN_BYTES = 4
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    try:
+        header = await reader.readexactly(_LEN_BYTES)
+    except asyncio.IncompleteReadError:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > _MAX_FRAME:
+        raise ConnectionError(f"frame of {length} B exceeds {_MAX_FRAME} B")
+    return await reader.readexactly(length)
+
+
+def _write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    writer.write(len(payload).to_bytes(_LEN_BYTES, "big") + payload)
+
+
+class _Shard:
+    """One account's slice of state on one data node."""
+
+    def __init__(self, account: str, *, limits=LIMITS_2012, clock=None,
+                 fifo_jitter_seed: Optional[int] = None) -> None:
+        clock = clock if clock is not None else WallClock()
+        self.state = StorageAccountState(
+            account, clock, limits, fifo_jitter_seed=fifo_jitter_seed)
+        self.cache_state = CacheServiceState(clock)
+        self.fault_plan = None
+        self.pipeline = Pipeline([
+            FaultInterceptor(lambda: self.fault_plan, cluster=None),
+        ])
+        self.executor = AsyncExecutor(self.state, self.pipeline)
+        self.op_call = OpCall(
+            self.state, self.cache_state,
+            now_fn=clock.now, plan_fn=lambda: self.fault_plan)
+
+
+class DataNode:
+    """One shard server: per-account state + async registry executor."""
+
+    def __init__(self, index: int,
+                 accounts: Union[Mapping[str, object], Iterable[str]], *,
+                 limits=LIMITS_2012, clock=None,
+                 fifo_jitter_seed: Optional[int] = None) -> None:
+        self.index = index
+        if isinstance(accounts, Mapping):
+            items = list(accounts.items())   # account -> its own limits
+        else:
+            items = [(account, limits) for account in accounts]
+        self._shards: Dict[str, _Shard] = {
+            account: _Shard(account, limits=acct_limits, clock=clock,
+                            fifo_jitter_seed=fifo_jitter_seed)
+            for account, acct_limits in items
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0
+                    ) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port)
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- faults / introspection --------------------------------------------
+    def shard(self, account: str) -> _Shard:
+        return self._shards[account]
+
+    def set_fault_plan(self, account: str, plan) -> None:
+        self._shards[account].fault_plan = plan
+
+    # -- the request loop ---------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                frame = await _read_frame(reader)
+                if frame is None:
+                    break
+                account, client, op, args, kwargs = pickle.loads(frame)
+                reply = await self._dispatch(account, client, op,
+                                             args, kwargs)
+                try:
+                    payload = pickle.dumps(reply)
+                except Exception as exc:  # unpicklable result: report it
+                    payload = pickle.dumps(
+                        ("err", f"unpicklable result for {op}: {exc}"))
+                _write_frame(writer, payload)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # loop teardown: finish cleanly, not "cancelled"
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError,
+                    asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, account: str, client: str, op: str,
+                        args: tuple, kwargs: dict) -> tuple:
+        self.requests_served += 1
+        shard = self._shards.get(account)
+        if shard is None:
+            return ("err", f"data node {self.index} holds no shard for "
+                           f"account {account!r}")
+        try:
+            result = await self._execute(shard, client, op, args, kwargs)
+        except StorageError as exc:
+            return ("storage-err", error_to_payload(exc))
+        except Exception as exc:
+            return ("err", f"{type(exc).__name__}: {exc}")
+        if op.startswith("create_"):
+            # create_* ops return live state objects (they carry
+            # back-references and locks); the wire result is just "ok".
+            result = None
+        return ("ok", result)
+
+    async def _execute(self, shard: _Shard, client: str, op: str,
+                       args: tuple, kwargs: dict):
+        if op == "_download":
+            # The SN cannot know the blob's flavor; resolve it here where
+            # the state lives and download whichever blob this is.
+            container, blob = args
+            target = shard.state.blobs.get_container(container).get_blob(blob)
+            op = ("download_page_blob" if isinstance(target, PageBlobState)
+                  else "download_block_blob")
+        elif op == "_get_page":
+            # Range reads answer with ``Content-Range: bytes a-b/total``;
+            # only this side knows the blob's total size, so pair it with
+            # the slice.
+            content = await shard.executor.run(
+                OPERATIONS[client]["get_page"], shard.op_call, args, kwargs,
+                worker=f"dn{self.index}")
+            container, blob = args[0], args[1]
+            target = shard.state.blobs.get_container(container).get_blob(blob)
+            return (content, target.max_size)
+        spec = OPERATIONS[client].get(op)
+        if spec is None:
+            raise StorageError(f"unknown operation {client}.{op}")
+        if spec.local:
+            # Bookkeeping reads run inline: the event loop serializes.
+            return spec.body(shard.op_call, *args, **kwargs)
+        return await shard.executor.run(
+            spec, shard.op_call, args, kwargs, worker=f"dn{self.index}")
+
+
+class DataNodeClient:
+    """The service node's async handle to one data node.
+
+    One pooled connection per (SN, DN) pair; an ``asyncio.Lock``
+    serializes frames on it (requests are short, and each SN talks to
+    every DN concurrently, so per-link pipelining is not the
+    bottleneck).  Reconnects lazily after a drop.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._reader = self._writer = None
+
+    async def call(self, account: str, client: str, op: str,
+                   args: tuple, kwargs: dict):
+        request = pickle.dumps((account, client, op, args, kwargs))
+        async with self._lock:
+            await self._ensure_connected()
+            _write_frame(self._writer, request)
+            await self._writer.drain()
+            frame = await _read_frame(self._reader)
+        if frame is None:
+            raise ConnectionError(
+                f"data node {self.host}:{self.port} closed mid-call")
+        tag, payload = pickle.loads(frame)
+        if tag == "ok":
+            return payload
+        if tag == "storage-err":
+            raise payload_to_error(payload)
+        raise RuntimeError(f"data node error: {payload}")

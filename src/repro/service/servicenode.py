@@ -1,0 +1,200 @@
+"""Service nodes: the authenticated HTTP front-ends of the cluster.
+
+Each service node exposes the three Azurite-style listeners (blob,
+queue, table) and, per request:
+
+1. resolves the tenant from the ``/{account}/...`` path prefix,
+2. decodes the wire request into a registry operation + route,
+3. runs the tenant's ``auth -> analytics -> throttles`` pipeline hooks
+   around it (one pipeline per tenant, shared by all SNs), and
+4. forwards it to the owning data node(s), merging fan-out results.
+
+The SN holds **no storage state** — partition ownership is pure
+``crc32(account/service/key) mod M``, so any SN can serve any request
+(that is the scale-out argument the SN/DN topology figure makes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import time
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..pipeline import OpContext
+from ..storage.clock import WallClock
+from ..storage.errors import StorageError
+from . import httpd
+from .datanode import DataNodeClient
+from .httpd import HttpRequest, HttpResponse
+from .tenants import TenantDirectory
+from .wire import (
+    WIRE_VERSION,
+    DecodedOp,
+    _http_date,
+    decode_request,
+    error_to_response,
+)
+
+__all__ = ["ServiceNode", "AccessLogEntry"]
+
+SERVICES = ("blob", "queue", "table")
+
+
+@dataclasses.dataclass
+class AccessLogEntry:
+    """One served request, for the access-log artifact."""
+
+    time: float
+    account: str
+    service: str
+    method: str
+    target: str
+    status: int
+    nbytes: int
+
+    def format(self) -> str:
+        return (f"{self.time:.6f} {self.account} {self.service} "
+                f"{self.method} {self.target} {self.status} {self.nbytes}")
+
+
+class ServiceNode:
+    """One front-end: three HTTP listeners over a shared DN client set."""
+
+    def __init__(self, index: int, tenants: TenantDirectory,
+                 data_nodes: Sequence[DataNodeClient], *,
+                 clock: Optional[WallClock] = None,
+                 access_log_path: Optional[str] = None) -> None:
+        if not data_nodes:
+            raise ValueError("a service node needs at least one data node")
+        self.index = index
+        self.tenants = tenants
+        self.data_nodes = list(data_nodes)
+        self.clock = clock if clock is not None else WallClock()
+        self.access_log: List[AccessLogEntry] = []
+        self.access_log_path = access_log_path
+        self._servers: Dict[str, asyncio.AbstractServer] = {}
+        self.endpoints: Dict[str, Tuple[str, int]] = {}
+        self._request_ids = itertools.count(1)
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1",
+                    ports: Optional[Dict[str, int]] = None) -> None:
+        """Bind the three listeners (``ports[service]`` or ephemeral)."""
+        ports = ports or {}
+        for service in SERVICES:
+            server = await httpd.serve(
+                self._make_handler(service), host, ports.get(service, 0))
+            self._servers[service] = server
+            self.endpoints[service] = (host, httpd.bound_port(server))
+
+    async def stop(self) -> None:
+        for server in self._servers.values():
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if self.access_log_path:
+            with open(self.access_log_path, "a", encoding="utf-8") as fh:
+                for entry in self.access_log:
+                    fh.write(entry.format() + "\n")
+            self.access_log.clear()
+
+    # -- request handling ---------------------------------------------------
+    def _make_handler(self, service: str):
+        async def handler(request: HttpRequest) -> HttpResponse:
+            return await self.handle(service, request)
+        return handler
+
+    async def handle(self, service: str,
+                     request: HttpRequest) -> HttpResponse:
+        request_id = f"sn{self.index}-{next(self._request_ids):08d}"
+        account = request.path.strip("/").split("/", 1)[0]
+        table = service == "table"
+        try:
+            tenant = self.tenants.get(account)
+            decoded = decode_request(service, account, request)
+        except StorageError as exc:
+            response = error_to_response(exc, table=table,
+                                         request_id=request_id)
+            self._log(account, service, request, response)
+            return response
+        try:
+            if decoded.descriptor is None:
+                # Registry-local bookkeeping read: no pipeline admission
+                # (matching the emulator), but the signature still gates.
+                tenant.authorize_request(service, request)
+                result = await self._route(account, decoded)
+            else:
+                result = await self._admitted(
+                    tenant, service, request, account, decoded)
+        except StorageError as exc:
+            response = error_to_response(exc, table=table,
+                                         request_id=request_id)
+            self._log(account, service, request, response)
+            return response
+        response = decoded.encode(result)
+        response.headers.extend([
+            ("x-ms-request-id", request_id),
+            ("x-ms-version", WIRE_VERSION),
+            ("Date", _http_date(time.time())),
+        ])
+        self._log(account, service, request, response)
+        return response
+
+    async def _admitted(self, tenant, service: str, request: HttpRequest,
+                        account: str, decoded: DecodedOp):
+        """Run one data op through the tenant pipeline around the DN hop."""
+        ctx = OpContext(op=decoded.descriptor, backend="service",
+                        worker=f"sn{self.index}",
+                        started_at=self.clock.now())
+        ctx.extras["wire"] = (service, request)
+        try:
+            tenant.pipeline.run_before(ctx)
+            result = await self._route(account, decoded)
+        except BaseException as exc:
+            ctx.finished_at = self.clock.now()
+            tenant.pipeline.run_failed(ctx, exc)
+            raise
+        if decoded.result_nbytes is not None:
+            # Reads are admitted before their size is known; patch the
+            # descriptor so analytics charge actual egress bytes.
+            ctx.op = dataclasses.replace(
+                ctx.op, nbytes=decoded.result_nbytes(result))
+        ctx.finished_at = self.clock.now()
+        tenant.pipeline.run_after(ctx)
+        return result
+
+    # -- routing ------------------------------------------------------------
+    def owner_index(self, account: str, client: str, key: str) -> int:
+        label = f"{account}/{client}/{key}".encode("utf-8")
+        return zlib.crc32(label) % len(self.data_nodes)
+
+    async def _route(self, account: str, decoded: DecodedOp):
+        if decoded.route == "one":
+            dn = self.data_nodes[
+                self.owner_index(account, decoded.client, decoded.route_key)]
+            return await dn.call(account, decoded.client, decoded.op,
+                                 decoded.args, decoded.kwargs)
+        # Namespace ops and listings touch every shard.
+        results = await asyncio.gather(
+            *(dn.call(account, decoded.client, decoded.op,
+                      decoded.args, decoded.kwargs)
+              for dn in self.data_nodes),
+            return_exceptions=True)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        if decoded.route == "broadcast":
+            return None
+        return decoded.merge(results)
+
+    # -- observability ------------------------------------------------------
+    def _log(self, account: str, service: str, request: HttpRequest,
+             response: HttpResponse) -> None:
+        self.access_log.append(AccessLogEntry(
+            time=self.clock.now(), account=account, service=service,
+            method=request.method, target=request.target,
+            status=response.status,
+            nbytes=len(request.body) + len(response.body)))

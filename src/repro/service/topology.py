@@ -1,0 +1,196 @@
+"""DES model of the SN/DN topology: the scaling figure's substrate.
+
+The live service tier (``repro serve``) runs on wall-clock threads, so
+it cannot answer "how does the front door scale?" reproducibly.  This
+module models the same request path on the discrete-event fabric:
+
+    client --(TCP)--> service node --(TCP)--> owning data node(s)
+           <--(TCP)--          <--(TCP)--
+
+Every hop crosses the :class:`~repro.compute.endpoints.EndpointRegistry`
+intra-DC network model (per-message latency + per-byte bandwidth, seeded
+jitter, per-channel FIFO), service nodes charge an authentication/
+routing CPU cost, and data nodes charge the storage-op service time.  A
+configurable fraction of requests fan out to *every* shard (listings and
+namespace ops), which is what eventually caps data-node scaling.
+
+``repro sndn`` sweeps service- and data-node counts over this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..compute.endpoints import EndpointRegistry
+from ..simkit import Environment, Resource
+
+__all__ = ["TopologyParams", "TopologyResult", "simulate_topology",
+           "sweep_topology"]
+
+
+@dataclass(frozen=True)
+class TopologyParams:
+    """One SN/DN deployment under closed-loop client load."""
+
+    service_nodes: int = 1
+    data_nodes: int = 2
+    clients: int = 16
+    duration_s: float = 60.0
+    #: Request/response sizes on the wire (headers + small payload).
+    request_bytes: int = 2048
+    reply_bytes: int = 1024
+    #: SN CPU per request: SharedKey HMAC check + decode + routing.
+    sn_service_s: float = 0.0004
+    #: DN service time per request: the storage op against the shard.
+    dn_service_s: float = 0.002
+    #: Fraction of requests that touch every shard (listings, namespace).
+    fanout_fraction: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.service_nodes < 1 or self.data_nodes < 1:
+            raise ValueError("need >= 1 service and data node")
+        if self.clients < 1:
+            raise ValueError("need >= 1 client")
+        if not 0.0 <= self.fanout_fraction <= 1.0:
+            raise ValueError("fanout_fraction must be in [0, 1]")
+
+
+@dataclass
+class TopologyResult:
+    """What one simulated deployment sustained."""
+
+    params: TopologyParams
+    completed: int
+    duration_s: float
+    latencies: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    @property
+    def p95_latency_s(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, 95))
+
+
+def simulate_topology(params: TopologyParams) -> TopologyResult:
+    """Run one deployment to its horizon; deterministic under the seed."""
+    env = Environment()
+    registry = EndpointRegistry(env, seed=params.seed)
+    rng = np.random.default_rng(params.seed + 1)
+
+    sn_cpus = [Resource(env, capacity=1)
+               for _ in range(params.service_nodes)]
+    dn_cpus = [Resource(env, capacity=1) for _ in range(params.data_nodes)]
+    sn_inboxes = [registry.register(f"sn-{j}")
+                  for j in range(params.service_nodes)]
+    dn_inboxes = [registry.register(f"dn-{k}")
+                  for k in range(params.data_nodes)]
+
+    result = TopologyResult(params, completed=0,
+                            duration_s=params.duration_s)
+    request_seq = iter(range(1 << 60))
+
+    def occupy(cpu: Resource, seconds: float):
+        req = cpu.request()
+        yield req
+        try:
+            yield env.timeout(seconds)
+        finally:
+            cpu.release(req)
+
+    # -- data node: execute the shard op, reply to the per-request box --
+    def dn_worker(index: int) -> None:
+        inbox = dn_inboxes[index]
+
+        def handle(msg):
+            yield from occupy(dn_cpus[index], params.dn_service_s)
+            reply_to = msg.payload.rstrip(b"\0").decode("ascii")
+            yield from registry.send(f"dn-{index}", reply_to,
+                                     b"\0" * params.reply_bytes)
+
+        def loop():
+            while True:
+                msg = yield from inbox.recv()
+                env.process(handle(msg))
+
+        env.process(loop())
+
+    # -- service node: auth+route CPU, fan out, merge, answer the client --
+    def sn_worker(index: int) -> None:
+        inbox = sn_inboxes[index]
+
+        def handle(msg):
+            yield from occupy(sn_cpus[index], params.sn_service_s)
+            if rng.random() < params.fanout_fraction:
+                targets = range(params.data_nodes)
+            else:
+                targets = [int(rng.integers(params.data_nodes))]
+            rid = f"rq-{next(request_seq)}"
+            reply_box = registry.register(rid)
+            payload = rid.encode("ascii").ljust(params.request_bytes, b"\0")
+            for k in targets:
+                yield from registry.send(f"sn-{index}", f"dn-{k}", payload)
+            for _ in targets:
+                yield from reply_box.recv()
+            reply_box.close()
+            yield from registry.send(f"sn-{index}", msg.source,
+                                     b"\0" * params.reply_bytes)
+
+        def loop():
+            while True:
+                msg = yield from inbox.recv()
+                env.process(handle(msg))
+
+        env.process(loop())
+
+    # -- closed-loop clients, round-robin over the service nodes --------
+    def client(index: int) -> None:
+        name = f"client-{index}"
+        inbox = registry.register(name)
+        sn = index % params.service_nodes
+
+        def loop():
+            payload = b"\0" * params.request_bytes
+            while True:
+                started = env.now
+                yield from registry.send(name, f"sn-{sn}", payload)
+                yield from inbox.recv()
+                result.latencies.append(env.now - started)
+                result.completed += 1
+
+        env.process(loop())
+
+    for k in range(params.data_nodes):
+        dn_worker(k)
+    for j in range(params.service_nodes):
+        sn_worker(j)
+    for i in range(params.clients):
+        client(i)
+
+    env.run(until=params.duration_s)
+    return result
+
+
+def sweep_topology(sn_counts, dn_counts, *, clients: int = 16,
+                   duration_s: float = 60.0, seed: int = 0,
+                   **overrides) -> Dict[tuple, TopologyResult]:
+    """Simulate every (service_nodes, data_nodes) combination."""
+    results: Dict[tuple, TopologyResult] = {}
+    for sn in sn_counts:
+        for dn in dn_counts:
+            params = TopologyParams(
+                service_nodes=sn, data_nodes=dn, clients=clients,
+                duration_s=duration_s, seed=seed, **overrides)
+            results[(sn, dn)] = simulate_topology(params)
+    return results

@@ -1,0 +1,149 @@
+"""EndpointRegistry/TcpMessage: the inter-role TCP substrate.
+
+Covers the network model's accounting (latency, bandwidth, counters),
+the name service (duplicate registration, unknown targets, close), and
+the per-channel FIFO guarantee that makes each (source, target) pair
+behave like one TCP stream.
+"""
+
+import pytest
+
+from repro.compute.endpoints import (
+    EndpointError,
+    EndpointRegistry,
+    TcpMessage,
+)
+from repro.simkit import Environment
+
+MB = 1024 * 1024
+
+
+def _registry(env, **overrides):
+    kwargs = dict(latency_s=0.001, bandwidth_bytes_per_s=1 * MB,
+                  jitter_sigma=0.0, seed=0)
+    kwargs.update(overrides)
+    return EndpointRegistry(env, **kwargs)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        registry = _registry(Environment())
+        registry.register("role-0")
+        with pytest.raises(EndpointError, match="already registered"):
+            registry.register("role-0")
+
+    def test_close_frees_the_name(self):
+        registry = _registry(Environment())
+        registry.register("role-0").close()
+        registry.register("role-0")  # does not raise
+        assert registry.names() == ("role-0",)
+
+    def test_send_to_unknown_target_fails_fast(self):
+        env = Environment()
+        registry = _registry(env)
+
+        def proc():
+            yield from registry.send("a", "ghost", b"x")
+
+        env.process(proc())
+        with pytest.raises(EndpointError, match="no endpoint 'ghost'"):
+            env.run()
+
+
+class TestNetworkAccounting:
+    def test_latency_and_bandwidth_charged(self):
+        """1 MB at 1 MB/s + 1 ms propagation: delivery at t ~= 1.001."""
+        env = Environment()
+        registry = _registry(env)
+        inbox = registry.register("rx")
+        got = []
+
+        def sender():
+            yield from registry.send("tx", "rx", b"x" * MB)
+
+        def receiver():
+            msg = yield from inbox.recv()
+            got.append((msg, env.now))
+
+        env.process(sender())
+        env.process(receiver())
+        env.run()
+        msg, at = got[0]
+        assert isinstance(msg, TcpMessage)
+        assert at == pytest.approx(1.001)
+        assert msg.latency == pytest.approx(1.001)
+        assert (msg.sent_at, msg.delivered_at) == (0.0, at)
+
+    def test_sender_released_after_serialization(self):
+        """The sender's NIC frees at the serialization boundary; the
+        propagation hop does not block it."""
+        env = Environment()
+        registry = _registry(env)
+        registry.register("rx")
+        freed = []
+
+        def sender():
+            yield from registry.send("tx", "rx", b"x" * MB)
+            freed.append(env.now)
+
+        env.process(sender())
+        env.run()
+        assert freed[0] == pytest.approx(1.0)
+
+    def test_counters(self):
+        env = Environment()
+        registry = _registry(env)
+        registry.register("rx")
+
+        def sender():
+            yield from registry.send("tx", "rx", b"abc")
+            yield from registry.send("tx", "rx", b"defgh")
+
+        env.process(sender())
+        env.run()
+        assert registry.messages_sent == 2
+        assert registry.bytes_sent == 8
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EndpointRegistry(Environment(), latency_s=-1)
+        with pytest.raises(ValueError):
+            EndpointRegistry(Environment(), bandwidth_bytes_per_s=0)
+
+
+class TestChannelFifo:
+    def test_one_channel_delivers_in_send_order(self):
+        """Even with jitter reordering the latency draws, one
+        (source, target) channel is a stream: FIFO delivery."""
+        env = Environment()
+        registry = _registry(env, jitter_sigma=2.0, seed=123)
+        inbox = registry.register("rx")
+        order = []
+
+        def sender():
+            for i in range(20):
+                yield from registry.send("tx", "rx", bytes([i]))
+
+        def receiver():
+            for _ in range(20):
+                msg = yield from inbox.recv()
+                order.append(msg.payload[0])
+
+        env.process(sender())
+        env.process(receiver())
+        env.run()
+        assert order == list(range(20))
+
+    def test_close_while_in_flight_drops_message(self):
+        env = Environment()
+        registry = _registry(env)
+        inbox = registry.register("rx")
+
+        def sender():
+            yield from registry.send("tx", "rx", b"late")
+            inbox.close()  # closes before the propagation hop lands
+
+        env.process(sender())
+        env.run()
+        assert inbox.pending == 0
+        assert inbox.try_recv() is None

@@ -1,0 +1,73 @@
+"""The SN/DN topology DES: deterministic, and it scales like a tier.
+
+The model backs the ``repro sndn`` scaling figure, so the tests pin the
+properties the figure depends on: bit-identical reruns for one seed,
+more data nodes -> more throughput while the DN tier is the bottleneck,
+and a coherent result object (completions, latency percentiles).
+"""
+
+import pytest
+
+from repro.service.topology import (
+    TopologyParams,
+    simulate_topology,
+    sweep_topology,
+)
+
+
+def _params(**overrides):
+    base = dict(clients=8, duration_s=10.0, seed=42)
+    base.update(overrides)
+    return TopologyParams(**base)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        {"service_nodes": 0},
+        {"data_nodes": 0},
+        {"clients": 0},
+        {"fanout_fraction": 1.5},
+        {"fanout_fraction": -0.1},
+    ])
+    def test_rejects_bad_params(self, bad):
+        with pytest.raises(ValueError):
+            _params(**bad)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = simulate_topology(_params())
+        b = simulate_topology(_params())
+        assert a.completed == b.completed
+        assert a.latencies == b.latencies
+
+    def test_different_seed_different_interleaving(self):
+        a = simulate_topology(_params(seed=1))
+        b = simulate_topology(_params(seed=2))
+        assert a.latencies != b.latencies
+
+
+class TestScaling:
+    def test_more_data_nodes_more_throughput(self):
+        """With DN service time 5x the SN's, the DN tier bottlenecks:
+        doubling it must raise throughput substantially."""
+        one = simulate_topology(_params(data_nodes=1))
+        four = simulate_topology(_params(data_nodes=4))
+        assert four.throughput_rps > one.throughput_rps * 1.5
+
+    def test_result_is_coherent(self):
+        r = simulate_topology(_params())
+        assert r.completed == len(r.latencies)
+        assert r.completed > 0
+        assert 0 < r.mean_latency_s <= r.p95_latency_s
+        assert r.throughput_rps == pytest.approx(
+            r.completed / r.params.duration_s)
+
+
+class TestSweep:
+    def test_grid_shape_and_keys(self):
+        results = sweep_topology((1, 2), (1, 2), clients=8, duration_s=5.0,
+                                 seed=7)
+        assert set(results) == {(1, 1), (1, 2), (2, 1), (2, 2)}
+        for (sn, dn), r in results.items():
+            assert (r.params.service_nodes, r.params.data_nodes) == (sn, dn)

@@ -21,10 +21,20 @@ from repro.storage import KB
 
 class TestGetBackend:
     def test_names(self):
-        assert set(BACKENDS) == {"sim", "emulator", "geo"}
+        assert set(BACKENDS) == {"sim", "emulator", "geo", "service"}
         assert isinstance(get_backend("sim"), SimBackend)
         assert isinstance(get_backend("emulator"), EmulatorBackend)
         assert isinstance(get_backend("geo"), GeoBackend)
+        from repro.backend import ServiceBackend
+        assert isinstance(get_backend("service"), ServiceBackend)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_backend("cloud")
+        # The message enumerates every registered backend, so typos are
+        # self-diagnosing and new registrations show up automatically.
+        for name in BACKENDS:
+            assert name in str(excinfo.value)
 
     def test_instance_passthrough(self):
         backend = EmulatorBackend(time_scale=0.5)
