@@ -232,7 +232,8 @@ class FigureRunner:
                  backend: object = "sim", trace: bool = False,
                  checkpoint: Optional[object] = None,
                  instrument: Optional[Callable] = None,
-                 jobs: Optional[int] = None) -> None:
+                 jobs: Optional[int] = None,
+                 arrivals: Optional[object] = None) -> None:
         self.scale = scale if scale is not None else active_scale()
         #: Which backend runs the sweeps: "sim" (default, seeded DES) or
         #: "emulator" (threaded, wall-clock); see :mod:`repro.backend`.
@@ -256,6 +257,14 @@ class FigureRunner:
         #: instrumented runs hold live objects that cannot cross a process
         #: boundary, so they always run serially regardless of ``jobs``.
         self.jobs = jobs
+        #: Optional open-loop arrival spec
+        #: (:class:`repro.traffic.ArrivalSpec`): worker starts in every
+        #: sweep cell are staggered at the spec's seeded instants
+        #: (``RunConfig.arrivals``).  Changes every number, so it is part
+        #: of :meth:`campaign_key`; like tracing it pins sweeps to the
+        #: serial path (the parallel executor rebuilds configs from the
+        #: scale alone and would silently drop the spec).
+        self.arrivals = arrivals
         self._blob: Optional[Dict[int, BenchResult]] = None
         self._queue_sep: Optional[Dict[int, BenchResult]] = None
         self._queue_shared: Optional[Dict[int, BenchResult]] = None
@@ -270,8 +279,12 @@ class FigureRunner:
         only reads the clock), so it is deliberately not part of the key.
         """
         backend = getattr(self.backend, "name", None) or str(self.backend)
-        payload = json.dumps({"scale": asdict(self.scale),
-                              "backend": backend}, sort_keys=True)
+        key: Dict[str, object] = {"scale": asdict(self.scale),
+                                  "backend": backend}
+        if self.arrivals is not None:
+            # Only when set, so pre-existing campaign keys stay stable.
+            key["arrivals"] = self.arrivals.describe()
+        payload = json.dumps(key, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def _parallel_eligible(self) -> bool:
@@ -286,6 +299,7 @@ class FigureRunner:
         return (self.jobs is not None and self.jobs > 1
                 and not self.trace
                 and self.instrument is None
+                and self.arrivals is None
                 and isinstance(self.backend, str))
 
     def _cell_result(self, config: RunConfig, body_factory) -> BenchResult:
@@ -317,7 +331,8 @@ class FigureRunner:
         body_factory = build_body_factory(self.scale, label)
         base = RunConfig(seed=self.scale.seed, label=label,
                          backend=self.backend, trace=self.trace,
-                         instrument=self.instrument)
+                         instrument=self.instrument,
+                         arrivals=self.arrivals)
         results: Dict[int, BenchResult] = {}
         for workers in self.scale.worker_counts:
             config = replace(base, workers=workers,

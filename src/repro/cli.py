@@ -16,6 +16,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro chaos --profile region-outage --seeds 7,11
     python -m repro geo --profile geo-failover --failover forced
     python -m repro perf --quick         # kernel + sweep perf, BENCH_core.json
+    python -m repro load --process poisson --rate 25 --slo "p95=250ms"
+    python -m repro load --find-knee --slo "p95=150ms" --out load/
 
 Exit codes are documented in ``docs/cli.md``: 0 success, 1 a run
 completed but failed its checks (audit mismatch, chaos violation,
@@ -80,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fan independent sweep cells out over N worker "
                           "processes (default 1: serial; results are "
                           "bit-identical either way)")
+    fig.add_argument("--arrivals", metavar="SPEC",
+                     help="stagger worker starts on an open-loop arrival "
+                          "process, e.g. 'poisson:25' or "
+                          "'mmpp:40:on=2,off=6' (docs/traffic.md)")
 
     all_cmd = sub.add_parser("all", help="regenerate every table and figure")
     all_cmd.add_argument("--full", action="store_true")
@@ -93,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fan the whole figure x worker-count cell "
                               "matrix out over N worker processes "
                               "(default 1: serial; bit-identical results)")
+    all_cmd.add_argument("--arrivals", metavar="SPEC",
+                         help="stagger worker starts on an open-loop "
+                              "arrival process (see 'repro fig')")
 
     trace = sub.add_parser(
         "trace", help="regenerate one figure with tracing enabled and "
@@ -220,6 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "instead of the storage conformance campaign")
     geo.add_argument("--tasks", type=int, default=24,
                      help="bag-of-tasks size (--elasticity only)")
+    geo.add_argument("--arrival", metavar="SPEC",
+                     help="submit elasticity tasks on an open-loop "
+                          "arrival process instead of all at once, e.g. "
+                          "'poisson:2' (--elasticity only; "
+                          "docs/traffic.md)")
     geo.add_argument("--out", metavar="FILE",
                      help="also write the verdict JSON to FILE")
     geo.add_argument("--retry-budget", type=int, default=64)
@@ -275,6 +289,65 @@ def build_parser() -> argparse.ArgumentParser:
     sndn.add_argument("--seed", type=int, default=0)
     sndn.add_argument("--csv", metavar="DIR",
                       help="also write the sweep as CSV into DIR")
+
+    load = sub.add_parser(
+        "load", help="open-loop load campaign: seeded arrival process, "
+                     "per-window p50/p95/p99 + throughput + utilization, "
+                     "SLO verdict, and --find-knee saturation search "
+                     "(docs/traffic.md)")
+    load.add_argument("--process", default=None,
+                      help="arrival process: poisson, mmpp, diurnal, "
+                           "ramp, or trace (default poisson; "
+                           "--trace-file implies trace)")
+    load.add_argument("--rate", type=float, default=25.0,
+                      help="mean arrival rate in ops/s (default 25)")
+    load.add_argument("--param", action="append", default=[],
+                      metavar="K=V",
+                      help="process parameter, may repeat (mmpp: on/off/"
+                           "rate_off; diurnal: amp/period; ramp: "
+                           "start/ramp)")
+    load.add_argument("--trace-file", metavar="FILE",
+                      help="arrival instants, one float per line "
+                           "(--process trace)")
+    load.add_argument("--duration", type=float, default=60.0,
+                      help="seconds of arrivals (default 60)")
+    load.add_argument("--window", type=float, default=5.0,
+                      help="stats window width in seconds (default 5)")
+    load.add_argument("--mix", default="queue",
+                      help="operation mix: queue, blob, table, or mixed "
+                           "(default queue)")
+    load.add_argument("--payload", type=int, default=4096,
+                      help="payload bytes for writes (default 4096)")
+    load.add_argument("--seed", type=int, default=2012,
+                      help="arrival + fabric seed (default 2012)")
+    load.add_argument("--backend", choices=sorted(BACKENDS), default="sim")
+    load.add_argument("--servers", type=int, default=1,
+                      help="server count for the utilization column "
+                           "(default 1)")
+    load.add_argument("--slo", metavar="SPEC",
+                      help="per-window objectives, e.g. "
+                           "'p95=250ms, p99=1s, err=1%%, tput=100'")
+    load.add_argument("--warmup", type=int, default=1, metavar="W",
+                      help="SLO warmup windows to skip (default 1)")
+    load.add_argument("--cooldown", type=int, default=1, metavar="W",
+                      help="SLO cooldown windows to skip (default 1)")
+    load.add_argument("--out", metavar="DIR",
+                      help="write windows.csv + verdict.json into DIR")
+    load.add_argument("--find-knee", action="store_true",
+                      help="bisect for the highest SLO-clean arrival "
+                           "rate instead of one fixed-rate run "
+                           "(requires --slo)")
+    load.add_argument("--low", type=float, default=1.0,
+                      help="knee-search bracket floor in ops/s "
+                           "(default 1)")
+    load.add_argument("--high", type=float, default=200.0,
+                      help="knee-search bracket ceiling in ops/s "
+                           "(default 200)")
+    load.add_argument("--rel-tol", type=float, default=0.1,
+                      help="knee bracket convergence tolerance "
+                           "(default 0.1)")
+    load.add_argument("--max-probes", type=int, default=12,
+                      help="knee-search probe budget (default 12)")
 
     return parser
 
@@ -440,11 +513,34 @@ _GEO_WORKLOADS = {
 }
 
 
-def _parse_seeds(text: str) -> Optional[List[int]]:
-    try:
-        return [int(s) for s in text.split(",") if s.strip()]
-    except ValueError:
-        return None
+def _parse_seeds(text: str) -> List[int]:
+    """Parse a ``--seeds`` matrix, surfacing malformed lists here.
+
+    Whitespace around entries is fine (``"7, 11"``); empty lists, empty
+    entries, non-integers, and duplicate seeds raise :class:`ValueError`
+    with a message naming the offending part, so the CLI can reject the
+    matrix before any runner starts.
+    """
+    tokens = [token.strip() for token in text.split(",")]
+    if tokens == [""]:
+        raise ValueError("--seeds is empty; give at least one seed")
+    seeds: List[int] = []
+    for token in tokens:
+        if not token:
+            raise ValueError(f"--seeds has an empty entry in {text!r}; "
+                             f"use a comma-separated list like '7,11'")
+        try:
+            seeds.append(int(token))
+        except ValueError:
+            raise ValueError(f"--seeds entry {token!r} is not an "
+                             f"integer (in {text!r})") from None
+    duplicates = sorted({s for s in seeds if seeds.count(s) > 1})
+    if duplicates:
+        raise ValueError(
+            f"--seeds lists seed{'s' if len(duplicates) > 1 else ''} "
+            f"{', '.join(map(str, duplicates))} more than once; every "
+            f"seed runs exactly one verdict")
+    return seeds
 
 
 def _run_geo_workload(args, name: str) -> int:
@@ -452,21 +548,36 @@ def _run_geo_workload(args, name: str) -> int:
     from .geo import run_elasticity, run_geo_chaos
 
     seeds = [args.seed]
-    if getattr(args, "seeds", None):
-        parsed = _parse_seeds(args.seeds)
-        if parsed is None:
-            print(f"--seeds must be a comma-separated list of integers, "
-                  f"got {args.seeds!r}", file=sys.stderr)
+    if getattr(args, "seeds", None) is not None:
+        try:
+            seeds = _parse_seeds(args.seeds)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
             return 2
-        seeds = parsed
-    matrix = len(seeds) > 1 or bool(getattr(args, "seeds", None))
+    matrix = len(seeds) > 1 or getattr(args, "seeds", None) is not None
+    arrival_text = getattr(args, "arrival", None)
+    arrival_spec = None
+    if arrival_text:
+        if name != "elasticity":
+            print("--arrival applies to the elasticity campaign "
+                  "(repro geo --elasticity)", file=sys.stderr)
+            return 2
+        from .traffic import parse_arrival_spec
+        try:
+            arrival_spec = parse_arrival_spec(arrival_text)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     failed = 0
     for seed in seeds:
         if name == "elasticity":
+            from dataclasses import replace as _replace
+            arrival = (_replace(arrival_spec, seed=seed)
+                       if arrival_spec is not None else None)
             verdict = run_elasticity(
                 args.profile, seed, tasks=args.tasks,
                 workers=args.workers, lag_s=args.lag,
-                retry_budget=args.retry_budget)
+                retry_budget=args.retry_budget, arrival=arrival)
         else:
             verdict = run_geo_chaos(
                 args.profile, seed, lag_s=args.lag,
@@ -496,7 +607,7 @@ def _run_chaos(args) -> int:
                   "profile (region-outage, geo-failover, "
                   "replication-stall, spot-eviction)", file=sys.stderr)
             return 2
-    if args.seeds and name == "taskpool":
+    if args.seeds is not None and name == "taskpool":
         print("--seeds matrices apply to figure workloads, not taskpool",
               file=sys.stderr)
         return 2
@@ -508,13 +619,13 @@ def _run_chaos(args) -> int:
                 args.profile, args.seed, crashes=args.crashes,
                 tasks=args.tasks, workers=args.workers,
                 retry_budget=args.retry_budget)
-        elif args.seeds:
+        elif args.seeds is not None:
             if not name.startswith("fig"):
                 name = f"fig{name}"
-            seeds = _parse_seeds(args.seeds)
-            if seeds is None:
-                print(f"--seeds must be a comma-separated list of "
-                      f"integers, got {args.seeds!r}", file=sys.stderr)
+            try:
+                seeds = _parse_seeds(args.seeds)
+            except ValueError as exc:
+                print(exc, file=sys.stderr)
                 return 2
             verdicts = run_chaos_matrix(
                 name, args.profile, seeds, jobs=args.jobs,
@@ -633,6 +744,97 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_load(args) -> int:
+    from .traffic import (ArrivalSpec, LoadConfig, SLOSpec, find_knee,
+                          run_load)
+    from .traffic.arrivals import PROCESSES
+
+    try:
+        if args.process is None:
+            # --trace-file alone selects trace replay; silently running
+            # the default poisson instead would ignore the user's trace.
+            process = "trace" if args.trace_file else "poisson"
+        else:
+            process = args.process.strip().lower()
+            if args.trace_file and process != "trace":
+                print(f"--trace-file conflicts with --process {process}",
+                      file=sys.stderr)
+                return 2
+        if process == "trace":
+            if not args.trace_file:
+                print("--process trace needs --trace-file",
+                      file=sys.stderr)
+                return 2
+            with open(args.trace_file) as f:
+                instants = tuple(float(line) for line in f
+                                 if line.strip())
+            spec = ArrivalSpec(process="trace", seed=args.seed,
+                               trace=instants)
+        else:
+            params = {}
+            alias = {"on": "mean_on", "off": "mean_off"}
+            for term in args.param:
+                if "=" not in term:
+                    raise ValueError(f"--param needs K=V, got {term!r}")
+                key, value = term.split("=", 1)
+                params[alias.get(key.strip(), key.strip())] = float(value)
+            if process not in PROCESSES:
+                raise ValueError(
+                    f"unknown arrival process {process!r}; choose from "
+                    f"{', '.join(sorted(PROCESSES))}, trace")
+            spec = ArrivalSpec(process=process, rate=args.rate,
+                               seed=args.seed,
+                               params=tuple(sorted(params.items())))
+        spec.build()  # validate parameters before any run starts
+        slo = None
+        if args.slo:
+            slo = SLOSpec.parse(args.slo, warmup_windows=args.warmup,
+                                cooldown_windows=args.cooldown)
+        if args.find_knee and slo is None:
+            print("--find-knee needs an --slo to bisect against",
+                  file=sys.stderr)
+            return 2
+        config = LoadConfig(
+            arrivals=spec, duration=args.duration, window_s=args.window,
+            mix=args.mix, payload_bytes=args.payload, seed=args.seed,
+            backend=args.backend, slo=slo, servers=args.servers)
+    except (OSError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.find_knee:
+        result = find_knee(config, low=args.low, high=args.high,
+                           rel_tol=args.rel_tol,
+                           max_probes=args.max_probes)
+        print(result.to_json())
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "knee.json")
+            with open(path, "w") as f:
+                f.write(result.to_json() + "\n")
+            print(f"wrote {path}", file=sys.stderr)
+        if result.knee_rate is None:
+            print("error: no SLO-clean rate in the bracket; lower --low "
+                  "or relax the SLO", file=sys.stderr)
+            return 1
+        print(f"knee: {result.knee_rate:g} ops/s "
+              f"({'converged' if result.converged else 'bracket top'}, "
+              f"{len(result.probes)} probes)", file=sys.stderr)
+        return 0
+
+    result = run_load(config)
+    print(result.to_json())
+    if args.out:
+        for path in result.write_artifacts(args.out):
+            print(f"wrote {path}", file=sys.stderr)
+    totals = result.aggregator
+    verdict = "clean" if result.passed else "SLO violations"
+    print(f"{totals.total_completions} ops "
+          f"({totals.total_errors} errors) over "
+          f"{len(result.rows)} windows: {verdict}", file=sys.stderr)
+    return 0 if result.passed else 1
+
+
 def _run_sndn(args) -> int:
     from .service.topology import sweep_topology
 
@@ -706,9 +908,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sndn":
         return _run_sndn(args)
 
+    if args.command == "load":
+        return _run_load(args)
+
     scale = PAPER_SCALE if getattr(args, "full", False) else QUICK_SCALE
+    arrivals = None
+    if getattr(args, "arrivals", None):
+        from .traffic import parse_arrival_spec
+        try:
+            arrivals = parse_arrival_spec(args.arrivals, seed=scale.seed)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     runner = FigureRunner(scale, backend=getattr(args, "backend", "sim"),
-                          jobs=getattr(args, "jobs", None))
+                          jobs=getattr(args, "jobs", None),
+                          arrivals=arrivals)
     if getattr(args, "checkpoint", None):
         from .chaos import RunCheckpoint
         runner.checkpoint = RunCheckpoint(args.checkpoint,

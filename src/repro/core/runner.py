@@ -42,6 +42,14 @@ class RunConfig:
     #: operation-history audit.  The hook must not advance the clock or
     #: draw randomness if seeded reproducibility matters.
     instrument: Optional[Callable] = None
+    #: Optional open-loop arrival spec (duck-typed
+    #: :class:`repro.traffic.ArrivalSpec`; kept untyped to avoid a core →
+    #: traffic import cycle).  When set, worker starts are staggered at
+    #: the spec's seeded arrival instants instead of launching in lock
+    #: step at t=0, turning any closed-loop figure body into an
+    #: open-loop-admitted cohort on every backend.  ``None`` (default)
+    #: leaves existing runs bit-identical.
+    arrivals: Optional[object] = None
 
 
 def run_bench(body_factory: Callable[[], Callable], config: RunConfig) -> BenchResult:
@@ -55,7 +63,32 @@ def run_bench(body_factory: Callable[[], Callable], config: RunConfig) -> BenchR
     # Imported here: repro.backend itself imports this package (it returns
     # BenchResults), so the dependency must resolve at call time.
     from ..backend import get_backend
+    if config.arrivals is not None:
+        body_factory = _staggered(body_factory, config)
     return get_backend(config.backend).run(body_factory, config)
+
+
+def _staggered(body_factory: Callable[[], Callable],
+               config: RunConfig) -> Callable[[], Callable]:
+    """Wrap bodies so each role starts at its seeded arrival instant.
+
+    The wrapper yields a plain timeout before delegating, which every
+    backend understands (the DES directly; emulator/service through
+    their timeout trampolines), so one wrapper covers all backends.
+    """
+    offsets = config.arrivals.build().take(config.workers)
+
+    def factory():
+        inner = body_factory()
+
+        def staggered_body(ctx):
+            delay = offsets[ctx.role_id % len(offsets)]
+            if delay > 0:
+                yield ctx.env.timeout(delay)
+            result = yield from inner(ctx)
+            return result
+        return staggered_body
+    return factory
 
 
 def sweep_workers(body_factory: Callable[[], Callable],

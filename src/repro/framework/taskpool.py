@@ -150,15 +150,37 @@ class TaskPoolApp:
 
     # -- web role ---------------------------------------------------------
     def web_role_body(self, tasks: Sequence[bytes], *,
-                      poll_interval: float = 1.0):
-        """Body for the web role: submit tasks, track progress, signal stop."""
+                      poll_interval: float = 1.0,
+                      submit_times: Optional[Sequence[float]] = None):
+        """Body for the web role: submit tasks, track progress, signal stop.
+
+        ``submit_times`` turns the bag into an open-loop stream: task ``i``
+        is submitted at ``submit_times[i]`` seconds after setup finishes
+        (instants from an :class:`repro.traffic.ArrivalSpec`), instead of
+        the whole bag landing at once.  Must be non-decreasing and cover
+        every task.
+        """
         tasks = [bytes(t) for t in tasks]
+        if submit_times is not None:
+            submit_times = [float(t) for t in submit_times]
+            if len(submit_times) < len(tasks):
+                raise ValueError(
+                    f"submit_times covers {len(submit_times)} of "
+                    f"{len(tasks)} tasks")
+            if any(b < a for a, b in zip(submit_times, submit_times[1:])):
+                raise ValueError("submit_times must be non-decreasing")
 
         def body(ctx: RoleContext):
             qc = self._queue_client(ctx)
             yield from self.setup(ctx)
-            # Task assignment: spread across the task queues round-robin.
+            # Task assignment: spread across the task queues round-robin,
+            # pacing on the arrival schedule when one was given.
+            origin = ctx.now
             for i, payload in enumerate(tasks):
+                if submit_times is not None:
+                    due = origin + submit_times[i]
+                    if due > ctx.now:
+                        yield ctx.sleep(due - ctx.now)
                 queue = self.config.task_queue_name(i % self.config.task_queues)
                 yield from self._retry(ctx, lambda q=queue, p=payload:
                                        qc.put_message(q, p))

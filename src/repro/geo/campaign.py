@@ -442,7 +442,8 @@ def run_elasticity(profile: str = "region-outage", seed: int = 0, *,
                    tasks: int = 24, workers: int = 2, work_s: float = 1.0,
                    lag_s: float = 2.0, max_instances: Optional[int] = None,
                    horizon: float = 400.0,
-                   retry_budget: int = RETRY_BUDGET) -> ChaosVerdict:
+                   retry_budget: int = RETRY_BUDGET,
+                   arrival=None) -> ChaosVerdict:
     """The bag-of-tasks app on a geo account with an elastic worker fleet.
 
     A deliberately under-provisioned pool (``workers``) faces ``tasks``
@@ -451,6 +452,14 @@ def run_elasticity(profile: str = "region-outage", seed: int = 0, *,
     outage (or eviction churn) from ``profile`` is in progress.  The
     verdict requires completion, at least one scale-out, every task's
     result exactly once, and the full history conformance checks.
+
+    ``arrival`` (an :class:`repro.traffic.ArrivalSpec`, optional) turns
+    the fixed task bag into an open-loop stream: the web role submits
+    task ``i`` at the spec's ``i``-th seeded arrival instant instead of
+    dumping the whole bag at t=0, so the autoscaler reacts to a live
+    arrival process (ROADMAP item 5).  The conformance checks are
+    unchanged — arrival pacing moves *when* tasks enter the pool, never
+    how many.
     """
     from ..compute import Autoscaler, Fabric, Supervisor
     from ..compute.roles import RoleStatus
@@ -480,9 +489,26 @@ def run_elasticity(profile: str = "region-outage", seed: int = 0, *,
         app = TaskPoolApp(config, handler)
         payloads = [f"task-{i}".encode() for i in range(tasks)]
 
+        submit_times = None
+        require_scaleout = True
+        if arrival is not None:
+            submit_times = arrival.build().take(tasks)
+            # The stream's tail arrives after t=0 bags would have finished;
+            # stretch the completion horizon by the submission span.
+            horizon += submit_times[-1]
+            # A paced stream below the fleet's service rate never builds a
+            # backlog, so staying at min_instances is the *correct*
+            # autoscaler behaviour — only an overloading stream must force
+            # a scale-out.
+            span = submit_times[-1]
+            offered = tasks / span if span > 0 else float("inf")
+            require_scaleout = offered > workers / work_s
+
         fabric = Fabric(env, geo)
-        web = fabric.deploy(app.web_role_body(payloads, poll_interval=0.5),
-                            instances=1, name="web")
+        web = fabric.deploy(
+            app.web_role_body(payloads, poll_interval=0.5,
+                              submit_times=submit_times),
+            instances=1, name="web")
         pool = fabric.deploy(app.worker_role_body(), instances=workers,
                              name="workers", contain_crashes=True)
         supervisor = Supervisor(pool, recycle_delay=3.0).start()
@@ -562,7 +588,7 @@ def run_elasticity(profile: str = "region-outage", seed: int = 0, *,
                 verdict.violations.append(Violation(
                     "elasticity",
                     f"{len(phantoms)} result(s) match no submitted task"))
-    if scaler.scale_outs < 1:
+    if scaler.scale_outs < 1 and require_scaleout:
         verdict.violations.append(Violation(
             "elasticity",
             f"autoscaler never scaled out despite a backlog of "
@@ -570,6 +596,8 @@ def run_elasticity(profile: str = "region-outage", seed: int = 0, *,
     ledger_violations, _ = _geo_ledger_violations(geo, [], schedule)
     verdict.violations.extend(ledger_violations)
     verdict.geo = {**geo.describe(), "autoscaler": scaler.describe()}
+    if arrival is not None:
+        verdict.geo["arrival"] = arrival.describe()
     verdict.counts = {
         "tasks": tasks,
         "results_collected": len(app.results),

@@ -1,0 +1,507 @@
+"""The open-loop traffic engine.
+
+:func:`run_load` drives a seeded operation schedule against any backend:
+
+* **sim / geo** — arrivals are injected into the DES as independent
+  processes: each scheduled instant spawns one operation process
+  regardless of how many earlier operations are still in flight, which
+  is what makes the load open-loop (a saturated fabric accumulates
+  in-flight work instead of throttling the offered rate).
+* **emulator / service** — a dispatcher thread releases operations at
+  their (time-scaled) wall-clock instants into a bounded client pool.
+
+The **schedule** — arrival instants from the
+:class:`~repro.traffic.arrivals.ArrivalSpec` plus seeded operation-mix
+and key draws — is precomputed before anything runs, so it is a pure
+function of the spec: every backend issues the *identical* operation
+sequence for a given seed (pinned by
+``tests/traffic/test_backend_equivalence.py``).  Completions stream into
+a :class:`~repro.traffic.stats.StatsAggregator` and the optional
+:class:`~repro.traffic.slo.SLOSpec` turns the windows into a verdict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..storage import KB
+from ..storage.content import SyntheticContent
+from ..storage.errors import StorageError
+from .arrivals import ArrivalSpec
+from .slo import SLOReport, SLOSpec
+from .stats import WINDOW_CSV_HEADER, StatsAggregator, WindowRow
+
+__all__ = [
+    "LoadConfig",
+    "ScheduledOp",
+    "LoadResult",
+    "MIXES",
+    "build_schedule",
+    "schedule_digest",
+    "run_load",
+]
+
+#: Fixed resource names every mix uses.
+LOAD_QUEUE = "loadq"
+LOAD_CONTAINER = "loadc"
+LOAD_TABLE = "loadt"
+LOAD_PARTITION = "load"
+
+#: mix name -> ((weight, service, op), ...).  Weights need not sum to 1.
+MIXES: Dict[str, Tuple[Tuple[float, str, str], ...]] = {
+    "queue": ((0.5, "queue", "put"), (0.25, "queue", "peek"),
+              (0.25, "queue", "get")),
+    "blob": ((0.65, "blob", "download"), (0.35, "blob", "upload")),
+    "table": ((0.3, "table", "insert"), (0.3, "table", "get"),
+              (0.2, "table", "upsert"), (0.2, "table", "query")),
+    "mixed": ((0.25, "queue", "put"), (0.15, "queue", "get"),
+              (0.2, "blob", "download"), (0.1, "blob", "upload"),
+              (0.15, "table", "get"), (0.15, "table", "upsert")),
+}
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One open-loop load run."""
+
+    arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
+    #: Simulated (or virtual, on wall-clock backends) seconds of arrivals.
+    duration: float = 60.0
+    window_s: float = 5.0
+    mix: str = "queue"
+    payload_bytes: int = 4 * KB
+    #: Fabric seed (account/cost model), independent of the arrival seed.
+    seed: int = 2012
+    backend: str = "sim"
+    slo: Optional[SLOSpec] = None
+    #: Read-target objects created before arrivals start.
+    preload: int = 16
+    #: Utilization divisor in the window rows (read-time hint only).
+    servers: int = 1
+    #: Thread cap for the wall-clock backends (emulator/service).
+    max_clients: int = 32
+    #: Wall seconds per virtual second on wall-clock backends.
+    time_scale: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.mix not in MIXES:
+            raise ValueError(f"unknown mix {self.mix!r}; choose from "
+                             f"{', '.join(sorted(MIXES))}")
+        if self.payload_bytes < 0 or self.preload < 1:
+            raise ValueError("payload_bytes must be >= 0, preload >= 1")
+        if self.max_clients < 1 or self.time_scale <= 0:
+            raise ValueError("max_clients must be >= 1, time_scale > 0")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "arrivals": self.arrivals.describe(),
+            "duration_s": self.duration,
+            "window_s": self.window_s,
+            "mix": self.mix,
+            "payload_bytes": self.payload_bytes,
+            "seed": self.seed,
+            "backend": self.backend,
+            "preload": self.preload,
+            "servers": self.servers,
+        }
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One precomputed arrival: when, what, and against which key."""
+
+    index: int
+    at: float
+    service: str
+    op: str
+    key: str
+    nbytes: int
+
+
+def build_schedule(config: LoadConfig) -> List[ScheduledOp]:
+    """The full, deterministic operation schedule for one run.
+
+    Arrival instants come from the arrival process; the operation mix
+    and key choices come from an independent stream seeded off the same
+    arrival seed — so changing the mix does not perturb the instants and
+    vice versa.
+    """
+    instants = config.arrivals.build().times(config.duration)
+    rng = Random(f"{config.arrivals.seed}:{config.mix}:ops")
+    mix = MIXES[config.mix]
+    total = sum(w for w, _, _ in mix)
+    out: List[ScheduledOp] = []
+    for index, at in enumerate(instants):
+        draw = rng.random() * total
+        for weight, service, op in mix:
+            draw -= weight
+            if draw < 0:
+                break
+        preloaded = f"obj-{rng.randrange(config.preload)}"
+        if (service, op) in (("blob", "upload"), ("table", "insert")):
+            key = f"new-{index}"
+        elif (service, op) == ("table", "query"):
+            key = LOAD_PARTITION
+        elif service == "queue":
+            key = LOAD_QUEUE
+        else:
+            key = preloaded
+        nbytes = config.payload_bytes if op in ("put", "upload", "insert",
+                                                "upsert") else 0
+        out.append(ScheduledOp(index, at, service, op, key, nbytes))
+    return out
+
+
+def schedule_digest(schedule: Sequence[ScheduledOp],
+                    outcomes: Optional[Sequence[Optional[bool]]] = None
+                    ) -> str:
+    """SHA-256 over the issued operation sequence (and outcomes)."""
+    h = hashlib.sha256()
+    for s in schedule:
+        ok = "-" if outcomes is None else str(int(bool(outcomes[s.index])))
+        h.update(f"{s.index},{s.at:.9f},{s.service},{s.op},{s.key},"
+                 f"{s.nbytes},{ok}\n".encode())
+    return h.hexdigest()
+
+
+# -- operation scripts -------------------------------------------------------
+# One op = a tiny instruction script yielding (method, args, kwargs) steps;
+# the DES interpreter forwards each step with ``yield from`` while the
+# wall-clock interpreter drives it blocking.  Both backends thereby share
+# one definition of what every scheduled op *does*.
+
+def _payload(config: LoadConfig, s: ScheduledOp) -> SyntheticContent:
+    return SyntheticContent(s.nbytes, seed=s.index)
+
+
+def _entity_props(config: LoadConfig, s: ScheduledOp) -> Dict[str, str]:
+    return {"v": "x" * max(1, config.payload_bytes)}
+
+
+def _op_script(clients: Dict[str, object], config: LoadConfig,
+               s: ScheduledOp):
+    qc, bc, tc = clients["queue"], clients["blob"], clients["table"]
+    kind = (s.service, s.op)
+    if kind == ("queue", "put"):
+        yield (qc.put_message, (s.key, _payload(config, s)), {})
+    elif kind == ("queue", "peek"):
+        yield (qc.peek_message, (s.key,), {})
+    elif kind == ("queue", "get"):
+        msg = yield (qc.get_message, (s.key,),
+                     {"visibility_timeout": 3600.0})
+        if msg is not None:
+            yield (qc.delete_message,
+                   (s.key, msg.message_id, msg.pop_receipt), {})
+    elif kind == ("blob", "download"):
+        yield (bc.download_block_blob, (LOAD_CONTAINER, s.key), {})
+    elif kind == ("blob", "upload"):
+        yield (bc.upload_blob,
+               (LOAD_CONTAINER, s.key, _payload(config, s)), {})
+    elif kind == ("table", "insert"):
+        yield (tc.insert,
+               (LOAD_TABLE, LOAD_PARTITION, s.key,
+                _entity_props(config, s)), {})
+    elif kind == ("table", "get"):
+        yield (tc.get, (LOAD_TABLE, LOAD_PARTITION, s.key), {})
+    elif kind == ("table", "upsert"):
+        yield (tc.insert_or_replace,
+               (LOAD_TABLE, LOAD_PARTITION, s.key,
+                _entity_props(config, s)), {})
+    elif kind == ("table", "query"):
+        yield (tc.query_partition, (LOAD_TABLE, s.key), {})
+    else:  # pragma: no cover - schedule builder emits only known kinds
+        raise ValueError(f"unknown scheduled op {kind}")
+
+
+def _setup_script(clients: Dict[str, object], config: LoadConfig):
+    """Create the fixed resources and preload read targets."""
+    qc, bc, tc = clients["queue"], clients["blob"], clients["table"]
+    mix_services = {service for _, service, _ in MIXES[config.mix]}
+    if "queue" in mix_services:
+        yield (qc.create_queue, (LOAD_QUEUE,), {})
+        for i in range(min(config.preload, 8)):
+            yield (qc.put_message,
+                   (LOAD_QUEUE, SyntheticContent(config.payload_bytes,
+                                                 seed=-1 - i)), {})
+    if "blob" in mix_services:
+        yield (bc.create_container, (LOAD_CONTAINER,), {})
+        for i in range(config.preload):
+            yield (bc.upload_blob,
+                   (LOAD_CONTAINER, f"obj-{i}",
+                    SyntheticContent(max(1, config.payload_bytes),
+                                     seed=-1 - i)), {})
+    if "table" in mix_services:
+        yield (tc.create_table, (LOAD_TABLE,), {})
+        for i in range(config.preload):
+            yield (tc.insert,
+                   (LOAD_TABLE, LOAD_PARTITION, f"obj-{i}",
+                    {"v": "x" * max(1, config.payload_bytes)}), {})
+
+
+def _run_script_des(script):
+    """Interpret a script inside the DES (simkit generator)."""
+    try:
+        step = next(script)
+        while True:
+            fn, args, kwargs = step
+            result = yield from fn(*args, **kwargs)
+            step = script.send(result)
+    except StopIteration:
+        return None
+
+
+def _drive(value):
+    """Resolve a client-call result on the wall-clock backends.
+
+    Emulator clients return values directly; the service wire shims are
+    never-yielding generators (so sim-style bodies can ``yield from``
+    them) — exhaust those to their return value.
+    """
+    if not hasattr(value, "send"):
+        return value
+    try:
+        while True:
+            next(value)
+    except StopIteration as stop:
+        return stop.value
+
+
+def _run_script_blocking(script) -> None:
+    try:
+        step = next(script)
+        while True:
+            fn, args, kwargs = step
+            step = script.send(_drive(fn(*args, **kwargs)))
+    except StopIteration:
+        return
+
+
+# -- results -----------------------------------------------------------------
+
+@dataclass
+class LoadResult:
+    """Everything one open-loop run produced."""
+
+    config: LoadConfig
+    rows: List[WindowRow]
+    aggregator: StatsAggregator
+    #: Digest over the issued op sequence + outcomes (see
+    #: :func:`schedule_digest`); backend-independent for seeded runs.
+    digest: str
+    #: Virtual seconds from first arrival to last completion.
+    elapsed_s: float
+    slo_report: Optional[SLOReport]
+
+    @property
+    def passed(self) -> bool:
+        return self.slo_report.clean if self.slo_report else True
+
+    def verdict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": "open-loop-load",
+            "config": self.config.describe(),
+            "totals": self.aggregator.totals(),
+            "windows": [row.to_dict() for row in self.rows],
+            "elapsed_s": round(self.elapsed_s, 6),
+            "op_digest": self.digest,
+            "passed": self.passed,
+        }
+        if self.slo_report is not None:
+            out["slo_report"] = self.slo_report.to_dict()
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.verdict(), indent=2, sort_keys=True)
+
+    def windows_csv(self) -> str:
+        lines = [WINDOW_CSV_HEADER]
+        for row in self.rows:
+            d = row.to_dict()
+            lines.append(",".join(str(d[col]) for col in
+                                  WINDOW_CSV_HEADER.split(",")))
+        return "\n".join(lines) + "\n"
+
+    def write_artifacts(self, out_dir: str) -> List[str]:
+        """Write ``windows.csv`` + ``verdict.json``; return the paths."""
+        os.makedirs(out_dir, exist_ok=True)
+        paths = []
+        for name, text in (("windows.csv", self.windows_csv()),
+                           ("verdict.json", self.to_json() + "\n")):
+            path = os.path.join(out_dir, name)
+            with open(path, "w") as f:
+                f.write(text)
+            paths.append(path)
+        return paths
+
+
+# -- execution ---------------------------------------------------------------
+
+def run_load(config: LoadConfig) -> LoadResult:
+    """Run one open-loop load campaign on the configured backend."""
+    from ..backend import (EmulatorBackend, ServiceBackend, SimBackend,
+                           get_backend)
+
+    schedule = build_schedule(config)
+    agg = StatsAggregator(config.window_s)
+    backend = get_backend(config.backend)
+    if isinstance(backend, SimBackend):  # includes GeoBackend
+        outcomes, elapsed = _run_des(backend, config, schedule, agg)
+    elif isinstance(backend, EmulatorBackend):
+        outcomes, elapsed = _run_wallclock(
+            config, schedule, agg, _emulator_client_factory(config))
+    elif isinstance(backend, ServiceBackend):
+        outcomes, elapsed = _run_service(config, schedule, agg)
+    else:  # pragma: no cover - registry covers all names
+        raise ValueError(f"backend {config.backend!r} cannot run "
+                         f"open-loop load")
+    horizon = max(config.duration, elapsed)
+    rows = agg.rows(duration=horizon, servers=config.servers)
+    report = config.slo.check(rows) if config.slo is not None else None
+    return LoadResult(config=config, rows=rows, aggregator=agg,
+                      digest=schedule_digest(schedule, outcomes),
+                      elapsed_s=elapsed, slo_report=report)
+
+
+def _run_des(backend, config: LoadConfig, schedule: List[ScheduledOp],
+             agg: StatsAggregator):
+    """Seeded DES execution (sim and geo backends)."""
+    from ..core.runner import RunConfig
+    from ..simkit import Environment
+
+    env = Environment()
+    account = backend._make_account(
+        env, RunConfig(seed=config.seed, label="load"))
+    clients = {"queue": account.queue_client(),
+               "blob": account.blob_client(),
+               "table": account.table_client()}
+
+    setup = env.process(_run_script_des(_setup_script(clients, config)),
+                        name="load-setup")
+    env.run(until=setup)
+    origin = env.now
+
+    outcomes: List[Optional[bool]] = [None] * len(schedule)
+    pending = {"n": len(schedule)}
+    done = env.event()
+    last_end = {"t": 0.0}
+
+    def op_proc(s: ScheduledOp):
+        t0 = env.now
+        try:
+            yield from _run_script_des(_op_script(clients, config, s))
+            ok = True
+        except StorageError:
+            ok = False
+        outcomes[s.index] = ok
+        end = env.now
+        agg.record(t0 - origin, end - origin, ok=ok, nbytes=s.nbytes,
+                   operation=f"{s.service}.{s.op}")
+        last_end["t"] = max(last_end["t"], end - origin)
+        pending["n"] -= 1
+        if pending["n"] == 0:
+            done.succeed()
+
+    def injector():
+        for s in schedule:
+            wait = origin + s.at - env.now
+            if wait > 0:
+                yield env.timeout(wait)
+            env.process(op_proc(s), name=f"load-op-{s.index}")
+
+    if schedule:
+        env.process(injector(), name="load-injector")
+        env.run(until=done)
+    return outcomes, last_end["t"]
+
+
+def _emulator_client_factory(config: LoadConfig) -> Callable[[], Dict]:
+    from ..emulator import EmulatorAccount
+
+    account = EmulatorAccount()
+
+    def make() -> Dict[str, object]:
+        return {"queue": account.queue_client(),
+                "blob": account.blob_client(),
+                "table": account.table_client()}
+    return make
+
+
+def _run_service(config: LoadConfig, schedule: List[ScheduledOp],
+                 agg: StatsAggregator):
+    """Boot an in-process SN/DN cluster and drive it over signed HTTP."""
+    from ..service import DEV_KEY, TenantConfig, TenantDirectory
+    from ..service.client import (ServiceConnection, WireBlobClient,
+                                  WireQueueClient, WireTableClient)
+    from ..service.cluster import ClusterRunner, ServiceCluster
+
+    tenants = TenantDirectory([TenantConfig.development()])
+    cluster = ServiceCluster(nodes=1, dn=2, tenants=tenants)
+    runner = ClusterRunner(cluster)
+    runner.start()
+    try:
+        account = tenants.accounts()[0]
+
+        def make() -> Dict[str, object]:
+            conn = ServiceConnection(cluster.endpoints(0), account, DEV_KEY)
+            return {"queue": WireQueueClient(conn),
+                    "blob": WireBlobClient(conn),
+                    "table": WireTableClient(conn)}
+        return _run_wallclock(config, schedule, agg, make)
+    finally:
+        runner.stop()
+
+
+def _run_wallclock(config: LoadConfig, schedule: List[ScheduledOp],
+                   agg: StatsAggregator, make_clients: Callable[[], Dict]):
+    """Dispatcher + bounded client pool on wall-clock backends.
+
+    Virtual time is wall time since the dispatch origin divided by
+    ``time_scale``; arrivals are released at their scheduled virtual
+    instants, so the offered rate stays open-loop even when every pool
+    thread is busy (queueing shows up as latency, as it should).
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    _run_script_blocking(_setup_script(make_clients(), config))
+
+    outcomes: List[Optional[bool]] = [None] * len(schedule)
+    local = threading.local()
+    lock = threading.Lock()
+    last_end = {"t": 0.0}
+    origin = time.monotonic()
+
+    def virtual_now() -> float:
+        return (time.monotonic() - origin) / config.time_scale
+
+    def run_op(s: ScheduledOp) -> None:
+        clients = getattr(local, "clients", None)
+        if clients is None:
+            clients = local.clients = make_clients()
+        try:
+            _run_script_blocking(_op_script(clients, config, s))
+            ok = True
+        except StorageError:
+            ok = False
+        outcomes[s.index] = ok
+        end = virtual_now()
+        with lock:
+            agg.record(s.at, max(s.at, end), ok=ok, nbytes=s.nbytes,
+                       operation=f"{s.service}.{s.op}")
+            last_end["t"] = max(last_end["t"], end)
+
+    with ThreadPoolExecutor(max_workers=config.max_clients) as pool:
+        for s in schedule:
+            wait = s.at * config.time_scale - (time.monotonic() - origin)
+            if wait > 0:
+                time.sleep(wait)
+            pool.submit(run_op, s)
+    return outcomes, last_end["t"]

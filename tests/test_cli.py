@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
@@ -181,3 +182,147 @@ class TestAllFigureCommands:
     def test_fig_commands(self, tiny_cli, capsys, number, expect):
         assert main(["fig", number]) == 0
         assert expect in capsys.readouterr().out
+
+
+class TestSeedsParsing:
+    """Regression suite for --seeds matrix parsing (ISSUE 8 satellite 4):
+    whitespace is accepted; empty lists, empty entries, non-integers, and
+    duplicates are rejected up front with a message naming the defect."""
+
+    def test_whitespace_accepted(self):
+        from repro.cli import _parse_seeds
+        assert _parse_seeds("7, 11") == [7, 11]
+        assert _parse_seeds(" 7 ,11 , 13") == [7, 11, 13]
+        assert _parse_seeds("-3, 0") == [-3, 0]
+
+    @pytest.mark.parametrize("bad,needle", [
+        ("", "empty"),
+        ("7,,11", "empty entry"),
+        ("7,", "empty entry"),
+        (",7", "empty entry"),
+        ("7,x", "not an integer"),
+        ("7.5", "not an integer"),
+        ("7,7", "more than once"),
+        ("7,11,7,11", "more than once"),
+    ])
+    def test_malformed_rejected(self, bad, needle):
+        from repro.cli import _parse_seeds
+        with pytest.raises(ValueError, match=needle):
+            _parse_seeds(bad)
+
+    @pytest.mark.parametrize("argv", [
+        ["chaos", "fig6", "--profile", "none", "--seeds", ""],
+        ["chaos", "fig6", "--profile", "none", "--seeds", "7,,11"],
+        ["chaos", "fig6", "--profile", "none", "--seeds", "7,7"],
+        ["chaos", "fig6", "--profile", "none", "--seeds", "7,x"],
+        ["chaos", "--profile", "region-outage", "--seeds", "7, 7"],
+    ])
+    def test_cli_rejects_before_any_run(self, capsys, argv):
+        assert main(argv) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_chaos_seeds_whitespace_runs(self, capsys):
+        """'7, 11' (with a space) reaches the runner and reports both."""
+        assert main(["chaos", "--profile", "region-outage",
+                     "--seeds", "7, 11"]) == 0
+        assert "2/2 passed" in capsys.readouterr().err
+
+
+class TestLoadCommand:
+    def test_load_poisson_with_slo(self, capsys, tmp_path):
+        out_dir = tmp_path / "load"
+        assert main(["load", "--process", "poisson", "--rate", "20",
+                     "--duration", "12", "--window", "4",
+                     "--slo", "p95=2s, err=5%",
+                     "--out", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+        verdict = json.loads(captured.out)
+        assert verdict["kind"] == "open-loop-load"
+        assert verdict["passed"] is True
+        assert verdict["slo_report"]["clean"] is True
+        # 3 arrival windows, plus possibly one more if the last
+        # completion spills past the arrival horizon.
+        assert len(verdict["windows"]) in (3, 4)
+        assert (out_dir / "windows.csv").exists()
+        assert (out_dir / "verdict.json").exists()
+
+    def test_load_slo_violation_exits_one(self, capsys):
+        assert main(["load", "--rate", "20", "--duration", "8",
+                     "--slo", "p95=0.001ms", "--warmup", "0",
+                     "--cooldown", "0"]) == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["passed"] is False
+        assert verdict["slo_report"]["violations"]
+
+    def test_load_find_knee_stable(self, capsys, tmp_path):
+        argv = ["load", "--find-knee", "--slo", "p95=120ms",
+                "--duration", "6", "--window", "2",
+                "--low", "20", "--high", "400",
+                "--rel-tol", "0.25", "--max-probes", "8",
+                "--out", str(tmp_path)]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["knee_rate"] == second["knee_rate"] is not None
+        assert first["converged"] is True
+        assert (tmp_path / "knee.json").exists()
+
+    def test_load_find_knee_needs_slo(self, capsys):
+        assert main(["load", "--find-knee"]) == 2
+        assert "--slo" in capsys.readouterr().err
+
+    def test_load_trace_replay(self, capsys, tmp_path):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("0.5\n1.0\n1.5\n2.0\n")
+        assert main(["load", "--process", "trace",
+                     "--trace-file", str(trace),
+                     "--duration", "4"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["totals"]["completions"] == 4
+        assert verdict["config"]["arrivals"] == {
+            "process": "trace", "seed": 2012, "instants": 4}
+
+    def test_load_trace_file_implies_trace_process(self, capsys, tmp_path):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("0.5\n1.0\n1.5\n2.0\n")
+        assert main(["load", "--trace-file", str(trace),
+                     "--duration", "4"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["config"]["arrivals"]["process"] == "trace"
+        assert verdict["totals"]["completions"] == 4
+
+    def test_load_trace_file_conflicts_with_other_process(self, capsys,
+                                                          tmp_path):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("0.5\n")
+        assert main(["load", "--process", "poisson",
+                     "--trace-file", str(trace)]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_load_bad_inputs(self, capsys):
+        assert main(["load", "--process", "bogus"]) == 2
+        assert "unknown arrival process" in capsys.readouterr().err
+        assert main(["load", "--slo", "p95=banana"]) == 2
+        assert "bad latency bound" in capsys.readouterr().err
+        assert main(["load", "--process", "trace"]) == 2
+        assert "--trace-file" in capsys.readouterr().err
+        assert main(["load", "--mix", "bogus"]) == 2
+        assert "unknown mix" in capsys.readouterr().err
+
+
+class TestArrivalsFlags:
+    def test_fig_arrivals_rejects_bad_spec(self, capsys):
+        assert main(["fig", "6", "--arrivals", "bogus:3"]) == 2
+        assert "unknown arrival process" in capsys.readouterr().err
+
+    def test_geo_arrival_requires_elasticity(self, capsys):
+        assert main(["geo", "--profile", "region-outage",
+                     "--arrival", "poisson:2"]) == 2
+        assert "--elasticity" in capsys.readouterr().err
+
+    def test_geo_elasticity_with_arrival(self, capsys):
+        assert main(["geo", "--profile", "region-outage", "--elasticity",
+                     "--tasks", "8", "--arrival", "poisson:2"]) == 0
+        err = capsys.readouterr().err
+        assert "PASS" in err

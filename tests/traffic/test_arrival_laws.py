@@ -1,0 +1,186 @@
+"""Property battery for the arrival processes (ISSUE 8 satellite 1).
+
+Laws pinned here:
+
+* Poisson inter-arrival gaps are exponential — at a fixed seed the
+  sample mean and variance of the gaps stay inside KS-style bounds of
+  the theoretical ``1/λ`` and ``1/λ²``;
+* the inhomogeneous processes' realised counts match their analytic
+  rate integrals (``expected_count``) within Poisson noise;
+* same spec ⇒ byte-identical streams, different seeds ⇒ different
+  streams (determinism is what makes backend equivalence possible);
+* trace replay reproduces its input exactly.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    ArrivalSpec,
+    DiurnalProcess,
+    MMPPProcess,
+    PoissonProcess,
+    RampProcess,
+    TraceReplayProcess,
+    build_process,
+    parse_arrival_spec,
+)
+
+rates = st.floats(min_value=0.5, max_value=200.0,
+                  allow_nan=False, allow_infinity=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# -- exponential gap law -----------------------------------------------------
+
+@given(rates, seeds)
+@settings(max_examples=40, deadline=None)
+def test_poisson_gaps_are_exponential(rate, seed):
+    """Mean and variance of the gaps track 1/λ and 1/λ² (CLT bounds)."""
+    process = PoissonProcess(rate, seed)
+    # Enough arrivals for the CLT bound regardless of the drawn rate.
+    n = 2000
+    times = process.take(n)
+    gaps = [b - a for a, b in zip([0.0] + times, times)]
+    mean = sum(gaps) / n
+    var = sum((g - mean) ** 2 for g in gaps) / (n - 1)
+    # X ~ Exp(λ): E[X]=1/λ, sd of the sample mean is 1/(λ√n); allow 5σ.
+    assert abs(mean - 1 / rate) <= 5 / (rate * math.sqrt(n))
+    # Var[X]=1/λ²; the sample variance of an exponential has sd
+    # √(8)/λ²/√n (fourth-moment formula); allow 6σ for tail safety.
+    assert abs(var - 1 / rate**2) <= 6 * math.sqrt(8) / (rate**2 * math.sqrt(n))
+
+
+@given(rates, seeds)
+@settings(max_examples=30, deadline=None)
+def test_poisson_count_matches_rate_integral(rate, seed):
+    duration = 50.0
+    expected = PoissonProcess(rate, seed).expected_count(duration)
+    observed = len(PoissonProcess(rate, seed).times(duration))
+    # Poisson(μ) has sd √μ; allow 5σ plus slack for tiny μ.
+    assert abs(observed - expected) <= 5 * math.sqrt(expected) + 3
+
+
+# -- inhomogeneous rate integrals --------------------------------------------
+
+@given(rates, seeds,
+       st.floats(min_value=0.0, max_value=0.9),
+       st.floats(min_value=20.0, max_value=300.0))
+@settings(max_examples=30, deadline=None)
+def test_diurnal_count_matches_rate_integral(rate, seed, amp, period):
+    process = DiurnalProcess(rate, seed, amp=amp, period=period)
+    duration = 2.0 * period  # two full cycles
+    expected = process.expected_count(duration)
+    observed = len(process.times(duration))
+    assert abs(observed - expected) <= 5 * math.sqrt(expected) + 3
+
+
+@given(rates, seeds,
+       st.floats(min_value=0.0, max_value=50.0),
+       st.floats(min_value=5.0, max_value=120.0))
+@settings(max_examples=30, deadline=None)
+def test_ramp_count_matches_rate_integral(rate, seed, start, ramp):
+    process = RampProcess(rate, seed, start=start, ramp=ramp)
+    duration = ramp + 40.0  # ramp plus a steady tail
+    expected = process.expected_count(duration)
+    observed = len(process.times(duration))
+    assert abs(observed - expected) <= 5 * math.sqrt(expected) + 3
+
+
+@given(rates, seeds)
+@settings(max_examples=30, deadline=None)
+def test_mmpp_long_run_rate(rate, seed):
+    """The on/off modulation preserves the requested average rate."""
+    process = MMPPProcess(rate, seed, mean_on=1.0, mean_off=3.0)
+    duration = 200.0
+    expected = process.expected_count(duration)
+    observed = len(process.times(duration))
+    # Count variance of a two-state MMPP: Poisson part λ̄T plus the
+    # integrated rate-modulation term 2·σ_λ²·τ_c·T, where σ_λ² is the
+    # variance of the modulated rate and τ_c the chain's correlation
+    # time (mean_on·mean_off / cycle).
+    cycle = process.mean_on + process.mean_off
+    p_on = process.mean_on / cycle
+    sigma2 = (process.rate_on - process.rate_off) ** 2 * p_on * (1 - p_on)
+    tau_c = process.mean_on * process.mean_off / cycle
+    sd = math.sqrt(expected + 2.0 * sigma2 * tau_c * duration)
+    assert abs(observed - expected) <= 5 * sd + 5
+
+
+# -- determinism -------------------------------------------------------------
+
+@pytest.mark.parametrize("name,params", [
+    ("poisson", {}),
+    ("mmpp", {"mean_on": 2.0, "mean_off": 4.0}),
+    ("diurnal", {"amp": 0.5, "period": 60.0}),
+    ("ramp", {"start": 2.0, "ramp": 20.0}),
+])
+def test_same_seed_byte_identical_streams(name, params):
+    a = build_process(name, 20.0, 7, params=params).times(30.0)
+    b = build_process(name, 20.0, 7, params=params).times(30.0)
+    assert a == b  # exact float equality: byte-identical draws
+    # and times() does not consume hidden state:
+    process = build_process(name, 20.0, 7, params=params)
+    assert process.times(30.0) == process.times(30.0)
+
+
+@given(seeds, seeds)
+@settings(max_examples=20, deadline=None)
+def test_different_seeds_differ(seed_a, seed_b):
+    a = PoissonProcess(30.0, seed_a).times(20.0)
+    b = PoissonProcess(30.0, seed_b).times(20.0)
+    if seed_a == seed_b:
+        assert a == b
+    else:
+        assert a != b
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4,
+                          allow_nan=False, allow_infinity=False),
+                max_size=50).map(sorted))
+def test_trace_replay_is_exact(instants):
+    process = TraceReplayProcess(instants)
+    horizon = (instants[-1] + 1.0) if instants else 1.0
+    assert process.times(horizon) == [float(t) for t in instants]
+    assert process.expected_count(horizon) == len(instants)
+
+
+def test_trace_rejects_bad_input():
+    with pytest.raises(ValueError):
+        TraceReplayProcess([3.0, 1.0])
+    with pytest.raises(ValueError):
+        TraceReplayProcess([-1.0])
+
+
+def test_take_exhaustion_is_loud():
+    with pytest.raises(ValueError, match="exhausted"):
+        TraceReplayProcess([1.0, 2.0]).take(5)
+
+
+# -- spec surface ------------------------------------------------------------
+
+def test_spec_roundtrip_and_parse():
+    spec = parse_arrival_spec("mmpp:40:on=2,off=6", seed=9)
+    assert spec.process == "mmpp" and spec.rate == 40.0
+    assert dict(spec.params) == {"mean_on": 2.0, "mean_off": 6.0}
+    assert spec.build().times(10.0) == spec.build().times(10.0)
+    assert spec.with_rate(80.0).rate == 80.0
+
+
+@pytest.mark.parametrize("bad", [
+    "bogus:10", "poisson", "poisson:abc", "mmpp:10:on",
+    "diurnal:10:amp=2", "trace:5",
+])
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError):
+        parse_arrival_spec(bad)
+
+
+def test_spec_describe_is_stable():
+    spec = ArrivalSpec(process="diurnal", rate=30.0, seed=3,
+                       params=(("amp", 0.5),))
+    assert spec.describe() == {"process": "diurnal", "seed": 3,
+                               "rate": 30.0, "amp": 0.5}
