@@ -57,16 +57,19 @@ class ChaosSchedule:
             "profile": self.profile,
             "seed": self.seed,
             "faults": [
-                {
-                    "kind": s.kind.value,
-                    "service": s.service,
-                    "partition": s.partition,
-                    "region": s.region,
-                    "start": round(s.start, 3),
-                    "duration": (None if s.duration == float("inf")
-                                 else round(s.duration, 3)),
-                    "probability": s.probability,
-                }
+                dict(
+                    {
+                        "kind": s.kind.value,
+                        "service": s.service,
+                        "partition": s.partition,
+                        "region": s.region,
+                        "start": round(s.start, 3),
+                        "duration": (None if s.duration == float("inf")
+                                     else round(s.duration, 3)),
+                        "probability": s.probability,
+                    },
+                    **({"node": s.node} if s.node is not None else {}),
+                )
                 for s in self.specs
             ],
             "crashes": [

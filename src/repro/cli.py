@@ -168,10 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help='figure to stress: 4-9 ("fig6" also accepted), '
                             '"taskpool" for the bag-of-tasks app with '
                             'worker-role crash/restart chaos, "geo" for '
-                            'the geo-replicated account campaign, or '
+                            'the geo-replicated account campaign, '
                             '"elasticity" for autoscaling under region '
-                            'faults; may be omitted when --profile names '
-                            'a geo profile (the geo workload is implied)')
+                            'faults, or "dnfailover" for the live SN/DN '
+                            'data-node failure domain; may be omitted '
+                            'when --profile implies a workload (geo '
+                            'profiles, dn-failover)')
     chaos.add_argument("--profile", default="none",
                        help="fault profile (see 'faults list'; "
                             "default: none)")
@@ -209,6 +211,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--lag", type=float, default=2.0, metavar="SECONDS",
                        help="geo workload: asynchronous replication lag "
                             "(default 2.0)")
+    chaos.add_argument("--dn", type=int, default=3,
+                       help="dnfailover workload: data nodes (default 3)")
+    chaos.add_argument("--replicas", type=int, default=2,
+                       help="dnfailover workload: shard replication "
+                            "factor (default 2)")
+    chaos.add_argument("--windows-csv", metavar="FILE",
+                       help="dnfailover workload: write per-window "
+                            "outcome counts (the SLO-dip artifact) to "
+                            "FILE")
 
     geo = sub.add_parser(
         "geo", help="geo-replicated account campaign: RA-GRS reads, "
@@ -287,6 +298,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fraction of requests touching every shard "
                            "(default 0.05)")
     sndn.add_argument("--seed", type=int, default=0)
+    sndn.add_argument("--replication", type=int, default=1, metavar="R",
+                      help="shard replication factor (default 1); with "
+                           "R > 1 a surviving replica absorbs requests "
+                           "to a crashed, undetected node")
+    sndn.add_argument("--crash-at", type=float, metavar="SECONDS",
+                      help="crash data node 0 at SECONDS (adds an "
+                           "availability column)")
+    sndn.add_argument("--detect", type=float, default=1.0,
+                      metavar="SECONDS",
+                      help="death-detection + ring-heal window after the "
+                           "crash (default 1.0)")
     sndn.add_argument("--csv", metavar="DIR",
                       help="also write the sweep as CSV into DIR")
 
@@ -324,6 +346,17 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--servers", type=int, default=1,
                       help="server count for the utilization column "
                            "(default 1)")
+    load.add_argument("--dn", type=int, default=2,
+                      help="service backend: data nodes (default 2)")
+    load.add_argument("--replicas", type=int, default=1,
+                      help="service backend: shard replication factor "
+                           "(default 1)")
+    load.add_argument("--kill-dn", type=int, metavar="N",
+                      help="service backend: crash data node N mid-run "
+                           "(needs --kill-at)")
+    load.add_argument("--kill-at", type=float, metavar="SECONDS",
+                      help="virtual seconds into the run at which "
+                           "--kill-dn crash-stops")
     load.add_argument("--slo", metavar="SPEC",
                       help="per-window objectives, e.g. "
                            "'p95=250ms, p99=1s, err=1%%, tput=100'")
@@ -510,6 +543,7 @@ _GEO_WORKLOADS = {
     "geo-failover": "geo",
     "replication-stall": "geo",
     "spot-eviction": "elasticity",
+    "dn-failover": "dnfailover",
 }
 
 
@@ -603,18 +637,24 @@ def _run_chaos(args) -> int:
     if not name:
         name = _GEO_WORKLOADS.get(args.profile, "")
         if not name:
-            print("a WORKLOAD is required unless --profile names a geo "
-                  "profile (region-outage, geo-failover, "
-                  "replication-stall, spot-eviction)", file=sys.stderr)
+            print("a WORKLOAD is required unless --profile implies one "
+                  "(region-outage, geo-failover, replication-stall, "
+                  "spot-eviction, dn-failover)", file=sys.stderr)
             return 2
-    if args.seeds is not None and name == "taskpool":
-        print("--seeds matrices apply to figure workloads, not taskpool",
+    if args.seeds is not None and name in ("taskpool", "dnfailover"):
+        print(f"--seeds matrices apply to figure workloads, not {name}",
               file=sys.stderr)
         return 2
     try:
         if name in ("geo", "elasticity"):
             return _run_geo_workload(args, name)
-        if name == "taskpool":
+        if name == "dnfailover":
+            from .chaos import run_dn_failover
+            verdict = run_dn_failover(
+                args.profile if args.profile != "none" else "dn-failover",
+                args.seed, dn=args.dn, replicas=args.replicas,
+                windows_csv=args.windows_csv)
+        elif name == "taskpool":
             verdict = run_chaos_taskpool(
                 args.profile, args.seed, crashes=args.crashes,
                 tasks=args.tasks, workers=args.workers,
@@ -656,6 +696,9 @@ def _run_chaos(args) -> int:
         return 1
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
         return 2
     _emit_verdict(verdict, args.out)
     return 0 if verdict.passed else 1
@@ -702,7 +745,8 @@ def _run_perf(args) -> int:
 
 
 def _run_serve(args) -> int:
-    import time as _time
+    import signal
+    import threading
 
     from .service import TenantConfig, TenantDirectory
     from .service.cluster import ClusterRunner, ServiceCluster
@@ -725,6 +769,23 @@ def _run_serve(args) -> int:
         nodes=args.nodes, dn=args.dn, tenants=TenantDirectory(configs),
         host=args.host, ports=ports, access_log_path=args.access_log)
     runner = ClusterRunner(cluster)
+
+    # Graceful shutdown: SIGINT/SIGTERM (and --duration expiry) wake the
+    # main thread, which tears the cluster down in order — stop accepting,
+    # drain in-flight requests, close DN links — and exits 0.  Handlers
+    # go in *before* "serving" is announced, so a supervisor that signals
+    # the moment the banner appears never hits the default-action window.
+    stop = threading.Event()
+    previous = {}
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     runner.start()
     print(cluster.describe())
     print("serving; interrupt to stop"
@@ -732,14 +793,13 @@ def _run_serve(args) -> int:
           f"serving for {args.duration:g} s")
     sys.stdout.flush()
     try:
-        if args.duration is None:
-            while True:
-                _time.sleep(3600)
-        else:
-            _time.sleep(args.duration)
-    except KeyboardInterrupt:
+        stop.wait(args.duration)
+    except KeyboardInterrupt:  # pragma: no cover - handler already set
         pass
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        print("shutting down", file=sys.stderr)
         runner.stop()
     return 0
 
@@ -797,7 +857,9 @@ def _run_load(args) -> int:
         config = LoadConfig(
             arrivals=spec, duration=args.duration, window_s=args.window,
             mix=args.mix, payload_bytes=args.payload, seed=args.seed,
-            backend=args.backend, slo=slo, servers=args.servers)
+            backend=args.backend, slo=slo, servers=args.servers,
+            dn=args.dn, replicas=args.replicas, kill_dn=args.kill_dn,
+            kill_at=args.kill_at)
     except (OSError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -832,6 +894,13 @@ def _run_load(args) -> int:
     print(f"{totals.total_completions} ops "
           f"({totals.total_errors} errors) over "
           f"{len(result.rows)} windows: {verdict}", file=sys.stderr)
+    if result.disruption:
+        d = result.disruption
+        print(f"dn kill: node {d['kill_dn']} at t={d['kill_at_s']:g}s, "
+              f"detected={d['detected']}, {d['errors']} op error(s), "
+              f"{d['shards_migrated']} shard(s) migrated, "
+              f"recovery {d['recovery_s']}s "
+              f"(unavailable {d['unavailable_s']}s)", file=sys.stderr)
     return 0 if result.passed else 1
 
 
@@ -844,33 +913,52 @@ def _run_sndn(args) -> int:
     except ValueError:
         print("--sn/--dn take comma-separated integers", file=sys.stderr)
         return 2
-    results = sweep_topology(
-        sn_counts, dn_counts, clients=args.clients,
-        duration_s=args.duration, seed=args.seed,
-        fanout_fraction=args.fanout)
+    crashing = args.crash_at is not None
+    overrides = {}
+    if args.replication > 1 or crashing:
+        overrides["replication"] = args.replication
+    if crashing:
+        overrides["crash_node"] = 0
+        overrides["crash_at_s"] = args.crash_at
+        overrides["detect_s"] = args.detect
+    try:
+        results = sweep_topology(
+            sn_counts, dn_counts, clients=args.clients,
+            duration_s=args.duration, seed=args.seed,
+            fanout_fraction=args.fanout, **overrides)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
     header = (f"SN/DN topology scaling — {args.clients} closed-loop "
               f"clients, {args.duration:g} s horizon, "
               f"{args.fanout:.0%} fan-out")
+    if crashing:
+        header += (f"; dn0 crashes at t={args.crash_at:g} s "
+                   f"(R={args.replication}, detect {args.detect:g} s)")
     print(header)
+    avail_col = f" {'avail %':>8}" if crashing else ""
     print(f"  {'SNs':>4} {'DNs':>4} {'req/s':>10} "
-          f"{'mean ms':>9} {'p95 ms':>9}")
+          f"{'mean ms':>9} {'p95 ms':>9}{avail_col}")
     rows = []
     for (sn, dn), r in sorted(results.items()):
+        avail = f" {r.availability * 100:8.3f}" if crashing else ""
         print(f"  {sn:4d} {dn:4d} {r.throughput_rps:10.0f} "
               f"{r.mean_latency_s * 1e3:9.2f} "
-              f"{r.p95_latency_s * 1e3:9.2f}")
+              f"{r.p95_latency_s * 1e3:9.2f}{avail}")
         rows.append((sn, dn, r))
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)
         path = os.path.join(args.csv, "sndn_topology.csv")
         with open(path, "w") as f:
             f.write("service_nodes,data_nodes,throughput_rps,"
-                    "mean_latency_s,p95_latency_s,completed\n")
+                    "mean_latency_s,p95_latency_s,completed,failed,"
+                    "availability\n")
             for sn, dn, r in rows:
                 f.write(f"{sn},{dn},{r.throughput_rps:.3f},"
                         f"{r.mean_latency_s:.6f},{r.p95_latency_s:.6f},"
-                        f"{r.completed}\n")
+                        f"{r.completed},{r.failed},"
+                        f"{r.availability:.6f}\n")
         print(f"wrote {path}")
     return 0
 

@@ -14,6 +14,7 @@ The package has two layers:
 """
 
 from .plan import FaultPlan
-from .spec import FaultEvent, FaultKind, FaultSpec
+from .spec import DN_KINDS, GEO_KINDS, FaultEvent, FaultKind, FaultSpec
 
-__all__ = ["FaultPlan", "FaultSpec", "FaultKind", "FaultEvent"]
+__all__ = ["FaultPlan", "FaultSpec", "FaultKind", "FaultEvent",
+           "DN_KINDS", "GEO_KINDS"]

@@ -29,7 +29,7 @@ from ..storage.errors import (
     ServerBusyError,
     TransientServerError,
 )
-from .spec import FaultEvent, FaultKind, FaultSpec
+from .spec import DN_KINDS, FaultEvent, FaultKind, FaultSpec
 
 __all__ = ["FaultPlan"]
 
@@ -133,6 +133,11 @@ class FaultPlan:
             if kind is FaultKind.REPLICATION_STALL:
                 # Interpreted by the geo replication shipper, never by the
                 # per-op data plane (a stall degrades freshness, not ops).
+                continue
+            if kind in DN_KINDS:
+                # Interpreted by the service tier's chaos campaign
+                # (crash/slow a whole data node); a node death is not an
+                # op-level event, so the per-op engine leaves it alone.
                 continue
             if not spec.active(now) or not spec.matches(service, op.partition):
                 continue

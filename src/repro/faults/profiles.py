@@ -173,6 +173,14 @@ PROFILES: Dict[str, FaultProfile] = {p.name: p for p in (
         crashes=3,
     ),
     FaultProfile(
+        "dn-failover",
+        "data node 1 of the service tier crash-stops at t=15 s under "
+        "open-loop load; the failure domain must detect the death via "
+        "heartbeats, heal the ring, and re-replicate with zero committed-"
+        "write loss and bounded unavailability (service backend only)",
+        (FaultSpec(kind=FaultKind.DN_CRASH, node=1, start=15.0),),
+    ),
+    FaultProfile(
         "lossy-queue",
         "task-queue puts lose their payload 10% of the time and gotten "
         "messages are duplicated 10% of the time for 30 s",

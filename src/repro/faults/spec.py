@@ -33,6 +33,14 @@ its background literature describe:
   applying the log for the window; Last Sync Time freezes while the
   primary keeps acknowledging writes (growing the forced-failover loss
   bound).  A no-op on single-region accounts.
+* **DN_CRASH** — one data node of the service tier crash-stops at
+  ``start`` and never returns; the failure domain
+  (:mod:`repro.service.membership`) must detect it, heal the ring, and
+  re-replicate.  Interpreted by the service-tier chaos campaign, not by
+  the per-op fault engine (a node death is not an op-level event).
+* **DN_SLOW** — one data node turns sick-but-alive for the window: every
+  request it serves stalls, which is what the SN-side hedged reads and
+  circuit breakers exist to absorb.
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["FaultKind", "FaultSpec", "FaultEvent", "GEO_KINDS",
+__all__ = ["FaultKind", "FaultSpec", "FaultEvent", "DN_KINDS", "GEO_KINDS",
            "QUEUE_ONLY_KINDS", "REGIONS"]
 
 
@@ -58,6 +66,8 @@ class FaultKind(str, enum.Enum):
     DUPLICATE_DELIVERY = "duplicate_delivery"
     REGION_OUTAGE = "region_outage"
     REPLICATION_STALL = "replication_stall"
+    DN_CRASH = "dn_crash"
+    DN_SLOW = "dn_slow"
 
 
 #: Kinds that only make sense against the queue service's data plane.
@@ -68,6 +78,13 @@ QUEUE_ONLY_KINDS = frozenset({
 #: Kinds the geo layer (not the per-op fault engine) interprets.
 GEO_KINDS = frozenset({
     FaultKind.REGION_OUTAGE, FaultKind.REPLICATION_STALL,
+})
+
+#: Kinds the service tier's failure domain interprets (node-level, not
+#: op-level): the chaos campaign crashes/slows the named data node and
+#: the membership layer must absorb it.
+DN_KINDS = frozenset({
+    FaultKind.DN_CRASH, FaultKind.DN_SLOW,
 })
 
 #: Valid values of :attr:`FaultSpec.region`.
@@ -92,6 +109,7 @@ class FaultSpec:
     duration: float = float("inf")
     probability: float = 1.0
     #: LATENCY: multiplier applied to RTT and server occupancy.
+    #: DN_SLOW: seconds each request stalls on the sick data node.
     latency_factor: float = 1.0
     #: TIMEOUT: seconds the doomed request burns before failing.
     timeout_after: float = 30.0
@@ -102,6 +120,8 @@ class FaultSpec:
     #: Geo faults: which region the fault hits (``None`` means "primary"
     #: on a geo account; single-region accounts ignore the field).
     region: Optional[str] = None
+    #: DN faults: which data node crash-stops / turns slow.
+    node: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.kind, FaultKind):
@@ -128,6 +148,20 @@ class FaultSpec:
             raise ValueError(
                 f"region targeting only applies to geo fault kinds "
                 f"({', '.join(sorted(k.value for k in GEO_KINDS))}), "
+                f"not {self.kind.value}")
+        if self.kind in DN_KINDS:
+            if self.node is None or self.node < 0:
+                raise ValueError(
+                    f"{self.kind.value} faults need a data node index "
+                    f"(node >= 0), got {self.node!r}")
+            if self.service is not None:
+                raise ValueError(
+                    f"{self.kind.value} faults hit a whole data node; "
+                    f"service targeting does not apply")
+        elif self.node is not None:
+            raise ValueError(
+                f"node targeting only applies to DN fault kinds "
+                f"({', '.join(sorted(k.value for k in DN_KINDS))}), "
                 f"not {self.kind.value}")
 
     @property

@@ -25,6 +25,8 @@ from .client import (
     WireTableClient,
 )
 from .datanode import DataNode, DataNodeClient
+from .membership import FailureDomainConfig, Membership, NodeState
+from .ring import DEFAULT_VNODES, HashRing
 from .servicenode import SERVICES, ServiceNode
 from .sharedkey import DEV_ACCOUNT, DEV_KEY, SignatureError
 from .tenants import Tenant, TenantConfig, TenantDirectory
@@ -32,6 +34,11 @@ from .tenants import Tenant, TenantConfig, TenantDirectory
 __all__ = [
     "ServiceCluster",
     "ClusterRunner",
+    "HashRing",
+    "DEFAULT_VNODES",
+    "Membership",
+    "FailureDomainConfig",
+    "NodeState",
     "ServiceConnection",
     "WireBlobClient",
     "WireQueueClient",

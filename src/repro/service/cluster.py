@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..storage.clock import WallClock
 from .datanode import DataNode, DataNodeClient
+from .membership import FailureDomainConfig, Membership
 from .servicenode import ServiceNode
 from .tenants import TenantDirectory
 
@@ -31,6 +32,7 @@ class ServiceCluster:
                  host: str = "127.0.0.1",
                  ports: Optional[Dict[str, int]] = None,
                  fifo_jitter_seed: Optional[int] = None,
+                 failure_domain: Optional[FailureDomainConfig] = None,
                  access_log_path: Optional[str] = None) -> None:
         if nodes < 1 or dn < 1:
             raise ValueError("a cluster needs >= 1 service and data node")
@@ -40,12 +42,21 @@ class ServiceCluster:
         self.ports = dict(ports or {})
         self.fifo_jitter_seed = fifo_jitter_seed
         self.access_log_path = access_log_path
+        #: Default = the null failure domain: R=1, no health checks —
+        #: exactly the old static single-owner cluster.
+        self.failure_domain = (failure_domain if failure_domain is not None
+                               else FailureDomainConfig())
+        if self.failure_domain.replicas > dn:
+            raise ValueError(
+                f"replicas={self.failure_domain.replicas} needs at least "
+                f"that many data nodes (have {dn})")
         shard_limits = {t.account: t.limits for t in self.tenants}
         self.data_nodes: List[DataNode] = [
             DataNode(i, shard_limits, fifo_jitter_seed=fifo_jitter_seed)
             for i in range(dn)
         ]
         self.service_nodes: List[ServiceNode] = []
+        self.membership: Optional[Membership] = None
         self._n_service_nodes = nodes
         self._dn_clients: List[DataNodeClient] = []
         self._started = False
@@ -56,27 +67,54 @@ class ServiceCluster:
         for dn in self.data_nodes:
             dn_host, dn_port = await dn.start(self.host)
             self._dn_clients.append(DataNodeClient(dn_host, dn_port))
+        # One membership (liveness + ring) shared by every SN, so the
+        # whole cluster agrees on placement and on who is dead.
+        self.membership = Membership(
+            self.failure_domain, self._dn_clients,
+            list(self.tenants.accounts()))
+        self.membership.start()
         # One clock for every SN: the tenants' sliding throttle windows
         # are charged with SN clock readings, so the origins must agree.
         clock = WallClock()
         for i in range(self._n_service_nodes):
             sn = ServiceNode(i, self.tenants, self._dn_clients,
-                             clock=clock,
+                             membership=self.membership, clock=clock,
                              access_log_path=self.access_log_path)
             await sn.start(self.host, self.ports if i == 0 else None)
             self.service_nodes.append(sn)
         self._started = True
 
     async def stop(self) -> None:
+        # Graceful order: stop accepting + drain in-flight requests,
+        # stop the health checker, then tear the DN links and DNs down.
         for sn in self.service_nodes:
             await sn.stop()
+        if self.membership is not None:
+            await self.membership.stop()
         for client in self._dn_clients:
             await client.close()
         for dn in self.data_nodes:
             await dn.stop()
         self.service_nodes.clear()
         self._dn_clients.clear()
+        self.membership = None
         self._started = False
+
+    # -- failure-domain controls --------------------------------------------
+    def crash_data_node(self, index: int) -> None:
+        """Kill DN ``index`` the hard way (the DN_CRASH chaos fault).
+
+        The process "dies" (listener closed, connections aborted) and the
+        membership learns of it the honest way: missed heartbeats.
+        """
+        self.data_nodes[index].crash()
+
+    async def drain_data_node(self, index: int) -> None:
+        """Gracefully retire DN ``index``: migrate first, then remove."""
+        if self.membership is None:
+            raise RuntimeError("cluster is not started")
+        await self.membership.drain(index)
+        self.data_nodes[index].crash()
 
     # -- conveniences -------------------------------------------------------
     def endpoints(self, node: int = 0) -> Dict[str, Tuple[str, int]]:
@@ -148,6 +186,54 @@ class ClusterRunner:
         self._thread.join(timeout)
         self._loop = None
         self._thread = None
+
+    # -- failure-domain controls (thread-safe) -------------------------------
+    def kill_data_node(self, index: int) -> None:
+        """Crash one DN from any thread (the load/chaos kill switch)."""
+        if self._loop is None:
+            raise RuntimeError("cluster is not running")
+        self._loop.call_soon_threadsafe(
+            self.cluster.crash_data_node, index)
+
+    def set_data_node_slow(self, index: int, delay: float) -> None:
+        """Make DN ``index`` stall every request by ``delay`` seconds
+        (the DN_SLOW chaos fault); ``0.0`` heals it."""
+        if self._loop is None:
+            raise RuntimeError("cluster is not running")
+        self._loop.call_soon_threadsafe(
+            setattr, self.cluster.data_nodes[index], "slow_delay", delay)
+
+    def drain_data_node(self, index: int, timeout: float = 30.0) -> None:
+        """Gracefully retire one DN; blocks until migration completes."""
+        if self._loop is None:
+            raise RuntimeError("cluster is not running")
+        asyncio.run_coroutine_threadsafe(
+            self.cluster.drain_data_node(index), self._loop
+        ).result(timeout)
+
+    def wait_settled(self, timeout: float = 30.0) -> bool:
+        """Block until death detection + rebalancing has quiesced."""
+        if self._loop is None:
+            raise RuntimeError("cluster is not running")
+        membership = self.cluster.membership
+        if membership is None:
+            return True
+        return asyncio.run_coroutine_threadsafe(
+            membership.wait_settled(timeout), self._loop
+        ).result(timeout + 5.0)
+
+    def wait_deaths_detected(self, count: int = 1,
+                             timeout: float = 30.0) -> bool:
+        """Block until the heartbeats have declared ``count`` DNs dead."""
+        import time as _time
+        membership = self.cluster.membership
+        deadline = _time.monotonic() + timeout
+        while _time.monotonic() < deadline:
+            if (membership is not None
+                    and membership.counters["deaths"] >= count):
+                return True
+            _time.sleep(0.02)
+        return False
 
     def __enter__(self) -> "ClusterRunner":
         self.start()

@@ -13,13 +13,26 @@ pickle frames carrying ``(account, client, op, args, kwargs)`` one way
 and ``("ok", result)`` / ``("storage-err", payload)`` the other.  It is
 a trusted, same-deployment link (like HSDS's internal DN traffic), so
 fidelity lives at the *wire* tier, not here.
+
+The same link carries the *fabric* traffic of the failure domain:
+``_ping`` heartbeats, ``_manifest`` (what data does this node hold),
+and ``_export_* / _import_*`` shard streams the rebalancer uses to
+restore replication after a node dies (see
+:mod:`repro.service.membership`).  Migration moves state machines
+directly — replica copies are fabric-internal, not client requests, so
+they bypass the op pipeline (no throttling, no fault injection) the
+way a real fabric's inter-node replication bypasses the front door.
+
+``crash()`` kills a node the hard way — listener closed, every open
+connection aborted mid-frame — which is what the DN_CRASH chaos fault
+and the failover tests use to model a crash-stop process death.
 """
 
 from __future__ import annotations
 
 import asyncio
 import pickle
-from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple, Union
 
 from ..pipeline import (
     AsyncExecutor,
@@ -29,10 +42,11 @@ from ..pipeline import (
     Pipeline,
 )
 from ..storage import StorageAccountState, WallClock
-from ..storage.blob.state import PageBlobState
-from ..storage.cache import CacheServiceState
+from ..storage.blob.state import BlockBlobState, PageBlobState
 from ..storage.errors import StorageError
+from ..storage.cache import CacheServiceState
 from ..storage.limits import LIMITS_2012
+from ..storage.table.entity import Entity
 from .wire import error_to_payload, payload_to_error
 
 __all__ = ["DataNode", "DataNodeClient"]
@@ -93,7 +107,11 @@ class DataNode:
             for account, acct_limits in items
         }
         self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
         self.requests_served = 0
+        self.crashed = False
+        #: Injected per-request service delay in seconds (DN_SLOW fault).
+        self.slow_delay = 0.0
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0
@@ -109,6 +127,22 @@ class DataNode:
             await self._server.wait_closed()
             self._server = None
 
+    def crash(self) -> None:
+        """Crash-stop this node: stop listening, abort every connection.
+
+        In-flight requests die with a transport error on the SN side,
+        exactly like a process kill — no goodbye frames, no flushing.
+        """
+        self.crashed = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in list(self._writers):
+            try:
+                writer.transport.abort()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+
     # -- faults / introspection --------------------------------------------
     def shard(self, account: str) -> _Shard:
         return self._shards[account]
@@ -119,10 +153,11 @@ class DataNode:
     # -- the request loop ---------------------------------------------------
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
         try:
             while True:
                 frame = await _read_frame(reader)
-                if frame is None:
+                if frame is None or self.crashed:
                     break
                 account, client, op, args, kwargs = pickle.loads(frame)
                 reply = await self._dispatch(account, client, op,
@@ -139,6 +174,7 @@ class DataNode:
         except asyncio.CancelledError:
             pass  # loop teardown: finish cleanly, not "cancelled"
         finally:
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -149,12 +185,24 @@ class DataNode:
     async def _dispatch(self, account: str, client: str, op: str,
                         args: tuple, kwargs: dict) -> tuple:
         self.requests_served += 1
+        if op == "_ping":
+            # Heartbeat: account-agnostic, answered before shard lookup.
+            return ("ok", {"node": self.index,
+                           "served": self.requests_served})
+        if self.slow_delay > 0:
+            # DN_SLOW fault: a sick-but-alive node (GC stall, bad disk).
+            await asyncio.sleep(self.slow_delay)
         shard = self._shards.get(account)
         if shard is None:
             return ("err", f"data node {self.index} holds no shard for "
                            f"account {account!r}")
         try:
-            result = await self._execute(shard, client, op, args, kwargs)
+            if op.startswith("_manifest") or op.startswith("_export_") \
+                    or op.startswith("_import_"):
+                result = _FABRIC_OPS[op](shard, *args)
+            else:
+                result = await self._execute(shard, client, op,
+                                             args, kwargs)
         except StorageError as exc:
             return ("storage-err", error_to_payload(exc))
         except Exception as exc:
@@ -194,6 +242,114 @@ class DataNode:
             spec, shard.op_call, args, kwargs, worker=f"dn{self.index}")
 
 
+# -- fabric (rebalancer) pseudo-ops -----------------------------------------
+#
+# These run inline on the event loop against the shard's state machines,
+# bypassing the op pipeline: replica migration is fabric-internal traffic,
+# not client traffic, so it must neither be throttled nor fault-injected.
+# Payloads travel as pickled state fragments (Content objects are pure
+# data), and imports are idempotent overwrites so a retried migration —
+# or two rebalancers racing — converges instead of corrupting.
+
+
+def _fabric_manifest(shard: _Shard) -> Dict[str, list]:
+    """What partition labels this shard holds *data* for.
+
+    Namespace objects (containers/queues/tables) are broadcast-created on
+    every DN, so only data-holding labels need migration: each key below
+    is exactly a routing ``route_key``, which is what lets the rebalancer
+    compute desired owners with the same labels the SNs route by.
+    """
+    state = shard.state
+    blobs = sorted((c.name, b) for c in state.blobs.containers.values()
+                   for b in c.blobs)
+    queues = sorted(name for name, q in state.queues.queues.items()
+                    if q._messages)
+    partitions = sorted({pk for t in state.tables.tables.values()
+                         for pk, rows in t._partitions.items() if rows})
+    return {"blobs": blobs, "queues": queues, "partitions": partitions}
+
+
+def _fabric_export_blob(shard: _Shard, route_key: str) -> tuple:
+    container, _, blob = route_key.partition("/")
+    target = shard.state.blobs.get_container(container).get_blob(blob)
+    common = (dict(target.metadata), dict(target.snapshots))
+    if isinstance(target, PageBlobState):
+        return ("page", target.max_size, list(target._ranges),
+                target._written_bytes) + common
+    return ("block", list(target._committed), dict(target._uncommitted),
+            target._size) + common
+
+
+def _fabric_import_blob(shard: _Shard, route_key: str,
+                        payload: tuple) -> None:
+    container_name, _, blob_name = route_key.partition("/")
+    service = shard.state.blobs
+    container = service.create_container(container_name)
+    if payload[0] == "page":
+        _, max_size, ranges, written, metadata, snapshots = payload
+        blob = container.create_page_blob(blob_name, max_size)
+        blob._ranges = ranges
+        blob._written_bytes = written
+        service._account_delta(written)
+    else:
+        _, committed, uncommitted, size, metadata, snapshots = payload
+        blob = container.create_block_blob(blob_name)
+        blob._committed = committed
+        blob._uncommitted = uncommitted
+        blob._size = size
+        service._account_delta(size)
+    blob.metadata = metadata
+    blob.snapshots = snapshots
+
+
+def _fabric_export_queue(shard: _Shard, route_key: str) -> list:
+    queue = shard.state.queues.get_queue(route_key)
+    now = queue._now()
+    return [m.content for m in queue._messages if not m.expired(now)]
+
+
+def _fabric_import_queue(shard: _Shard, route_key: str,
+                         contents: list) -> None:
+    # Re-put the payloads instead of splicing QueueMessage records: ids,
+    # receipts, and visibility restart on the new replica.  A migrated
+    # in-flight message may be delivered again — at-least-once, which is
+    # the queue contract the chaos ledger checks — but none is lost.
+    queue = shard.state.queues.create_queue(route_key)
+    for content in contents:
+        queue.put_message(content)
+
+
+def _fabric_export_table(shard: _Shard, route_key: str) -> Dict[str, list]:
+    out: Dict[str, list] = {}
+    for name, table in shard.state.tables.tables.items():
+        rows = table._partitions.get(route_key)
+        if rows:
+            out[name] = [(e.row_key, dict(e._properties), e.etag,
+                          e.timestamp) for e in rows.values()]
+    return out
+
+
+def _fabric_import_table(shard: _Shard, route_key: str,
+                         exported: Dict[str, list]) -> None:
+    for name, rows in exported.items():
+        table = shard.state.tables.create_table(name)
+        for row_key, properties, etag, timestamp in rows:
+            table._store(Entity(route_key, row_key, properties,
+                                etag=etag, timestamp=timestamp))
+
+
+_FABRIC_OPS = {
+    "_manifest": _fabric_manifest,
+    "_export_blob": _fabric_export_blob,
+    "_import_blob": _fabric_import_blob,
+    "_export_queue": _fabric_export_queue,
+    "_import_queue": _fabric_import_queue,
+    "_export_table": _fabric_export_table,
+    "_import_table": _fabric_import_table,
+}
+
+
 class DataNodeClient:
     """The service node's async handle to one data node.
 
@@ -224,14 +380,31 @@ class DataNodeClient:
                 pass
             self._reader = self._writer = None
 
+    def _abort(self) -> None:
+        """Drop the pooled connection without awaiting the close."""
+        if self._writer is not None:
+            try:
+                self._writer.transport.abort()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+            self._reader = self._writer = None
+
     async def call(self, account: str, client: str, op: str,
                    args: tuple, kwargs: dict):
         request = pickle.dumps((account, client, op, args, kwargs))
         async with self._lock:
-            await self._ensure_connected()
-            _write_frame(self._writer, request)
-            await self._writer.drain()
-            frame = await _read_frame(self._reader)
+            try:
+                await self._ensure_connected()
+                _write_frame(self._writer, request)
+                await self._writer.drain()
+                frame = await _read_frame(self._reader)
+            except BaseException:
+                # A failed or *cancelled* exchange (the SN's per-DN
+                # timeout cancels us mid-frame) leaves an un-consumed
+                # reply on the link; drop the connection so the next
+                # caller starts clean instead of reading a stale frame.
+                self._abort()
+                raise
         if frame is None:
             raise ConnectionError(
                 f"data node {self.host}:{self.port} closed mid-call")

@@ -149,20 +149,27 @@ async def write_response(writer: asyncio.StreamWriter,
 
 
 Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+ErrorResponder = Callable[[HttpError], HttpResponse]
 
 
 async def _connection(reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter,
-                      handler: Handler) -> None:
+                      handler: Handler,
+                      error_responder: Optional[ErrorResponder] = None
+                      ) -> None:
     peername = writer.get_extra_info("peername")
     peer = f"{peername[0]}:{peername[1]}" if peername else "?"
     try:
         while True:
             try:
                 request = await read_request(reader, peer)
-            except HttpError:
-                await write_response(
-                    writer, HttpResponse(400), keep_alive=False)
+            except HttpError as exc:
+                # Let the application shape the error body (the storage
+                # tier answers with its XML <Error> document); fall back
+                # to a bare 400 close.
+                response = (error_responder(exc) if error_responder
+                            else HttpResponse(400))
+                await write_response(writer, response, keep_alive=False)
                 break
             if request is None:
                 break
@@ -185,11 +192,13 @@ async def _connection(reader: asyncio.StreamReader,
 
 
 async def serve(handler: Handler, host: str = "127.0.0.1",
-                port: int = 0) -> asyncio.AbstractServer:
+                port: int = 0, *,
+                error_responder: Optional[ErrorResponder] = None
+                ) -> asyncio.AbstractServer:
     """Start an HTTP server; the bound port is on ``server.sockets``."""
     server = await asyncio.start_server(
-        lambda r, w: _connection(r, w, handler), host, port,
-        limit=MAX_HEADER_BYTES,
+        lambda r, w: _connection(r, w, handler, error_responder),
+        host, port, limit=MAX_HEADER_BYTES,
     )
     return server
 

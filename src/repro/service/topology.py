@@ -49,6 +49,17 @@ class TopologyParams:
     #: Fraction of requests that touch every shard (listings, namespace).
     fanout_fraction: float = 0.05
     seed: int = 0
+    #: Shard replication factor: with R > 1 a request that lands on a
+    #: crashed, not-yet-detected node is hedged onto a surviving replica
+    #: (after ``hedge_delay_s``) instead of failing.
+    replication: int = 1
+    #: Data node that crash-stops mid-run (-1: no crash).
+    crash_node: int = -1
+    crash_at_s: float = 10.0
+    #: Seconds until membership detects the death and heals the ring.
+    detect_s: float = 1.0
+    #: SN-side hedge delay charged when a replica absorbs a dead primary.
+    hedge_delay_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.service_nodes < 1 or self.data_nodes < 1:
@@ -57,6 +68,16 @@ class TopologyParams:
             raise ValueError("need >= 1 client")
         if not 0.0 <= self.fanout_fraction <= 1.0:
             raise ValueError("fanout_fraction must be in [0, 1]")
+        if not 1 <= self.replication <= self.data_nodes:
+            raise ValueError(
+                f"replication must be in [1, data_nodes="
+                f"{self.data_nodes}], got {self.replication}")
+        if self.crash_node >= self.data_nodes:
+            raise ValueError("crash_node must name an existing data node")
+        if self.crash_at_s < 0 or self.detect_s <= 0:
+            raise ValueError("crash_at_s must be >= 0, detect_s > 0")
+        if self.hedge_delay_s < 0:
+            raise ValueError("hedge_delay_s must be >= 0")
 
 
 @dataclass
@@ -67,10 +88,18 @@ class TopologyResult:
     completed: int
     duration_s: float
     latencies: List[float] = field(repr=False, default_factory=list)
+    #: Requests that failed because their shard was dead and undetected
+    #: with no surviving replica to absorb them.
+    failed: int = 0
 
     @property
     def throughput_rps(self) -> float:
         return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def availability(self) -> float:
+        total = self.completed + self.failed
+        return self.completed / total if total else 1.0
 
     @property
     def mean_latency_s(self) -> float:
@@ -100,6 +129,19 @@ def simulate_topology(params: TopologyParams) -> TopologyResult:
     result = TopologyResult(params, completed=0,
                             duration_s=params.duration_s)
     request_seq = iter(range(1 << 60))
+
+    # DN failure domain: ``dead`` is the crashed node, ``detected`` flips
+    # once membership heals the ring (ranges reassigned to the survivor).
+    crash = {"dead": None, "detected": False}
+
+    def crasher():
+        yield env.timeout(params.crash_at_s)
+        crash["dead"] = params.crash_node
+        yield env.timeout(params.detect_s)
+        crash["detected"] = True
+
+    if params.crash_node >= 0:
+        env.process(crasher(), name="dn-crasher")
 
     def occupy(cpu: Resource, seconds: float):
         req = cpu.request()
@@ -133,9 +175,30 @@ def simulate_topology(params: TopologyParams) -> TopologyResult:
         def handle(msg):
             yield from occupy(sn_cpus[index], params.sn_service_s)
             if rng.random() < params.fanout_fraction:
-                targets = range(params.data_nodes)
+                targets = list(range(params.data_nodes))
             else:
                 targets = [int(rng.integers(params.data_nodes))]
+            # Failure-domain remap (inert while nothing is dead, so the
+            # default path — and its RNG draw sequence — is unchanged).
+            dead = crash["dead"]
+            penalty = 0.0
+            ok = True
+            if dead is not None and dead in targets:
+                alive = [k for k in targets if k != dead]
+                if crash["detected"] or params.replication > 1:
+                    # Healed ring, or a surviving replica absorbs the
+                    # request (undetected: after the SN hedge delay).
+                    if not crash["detected"]:
+                        penalty = params.hedge_delay_s
+                    if not alive:
+                        successor = (dead + 1) % params.data_nodes
+                        alive = [successor] if successor != dead else []
+                    ok = bool(alive)
+                else:
+                    ok = False
+                targets = alive
+            if penalty:
+                yield env.timeout(penalty)
             rid = f"rq-{next(request_seq)}"
             reply_box = registry.register(rid)
             payload = rid.encode("ascii").ljust(params.request_bytes, b"\0")
@@ -144,8 +207,10 @@ def simulate_topology(params: TopologyParams) -> TopologyResult:
             for _ in targets:
                 yield from reply_box.recv()
             reply_box.close()
-            yield from registry.send(f"sn-{index}", msg.source,
-                                     b"\0" * params.reply_bytes)
+            marker = b"\0" if ok else b"\1"
+            yield from registry.send(
+                f"sn-{index}", msg.source,
+                marker + b"\0" * (params.reply_bytes - 1))
 
         def loop():
             while True:
@@ -165,9 +230,12 @@ def simulate_topology(params: TopologyParams) -> TopologyResult:
             while True:
                 started = env.now
                 yield from registry.send(name, f"sn-{sn}", payload)
-                yield from inbox.recv()
-                result.latencies.append(env.now - started)
-                result.completed += 1
+                reply = yield from inbox.recv()
+                if reply.payload[:1] == b"\1":
+                    result.failed += 1
+                else:
+                    result.latencies.append(env.now - started)
+                    result.completed += 1
 
         env.process(loop())
 

@@ -53,6 +53,8 @@ __all__ = [
     "DecodedOp",
     "WireCall",
     "ENCODERS",
+    "UnsupportedVersionError",
+    "UnknownResourceError",
     "decode_request",
     "error_to_response",
     "response_to_error",
@@ -64,6 +66,30 @@ __all__ = [
 WIRE_VERSION = "2012-02-12"
 
 _EXT = "x-ms-repro-"  # prefix for precision-extension headers/elements
+
+
+class UnsupportedVersionError(StorageError):
+    """The request's ``x-ms-version`` names an API we do not speak.
+
+    The real service answers with 400 ``InvalidHeaderValue`` and a
+    proper XML error body; so do we (a bare 400 breaks SDK error
+    decoding, which looks for ``x-ms-error-code``).
+    """
+
+    status_code = 400
+    error_code = "InvalidHeaderValue"
+
+
+class UnknownResourceError(StorageError):
+    """The request URI does not name a resource of this wire subset.
+
+    ``InvalidUri`` rather than ``InvalidInput``: the latter is claimed
+    by :class:`~repro.storage.errors.BatchError` in the decode map, so a
+    client would rebuild the wrong exception type.
+    """
+
+    status_code = 400
+    error_code = "InvalidUri"
 
 
 # ---------------------------------------------------------------------------
@@ -897,7 +923,16 @@ _DECODERS = {
 def decode_request(service: str, account: str,
                    req: HttpRequest) -> DecodedOp:
     """Resolve one wire request against the ``service`` listener."""
-    return _DECODERS[service](account, req)
+    try:
+        return _DECODERS[service](account, req)
+    except StorageError:
+        raise
+    except Exception as exc:
+        # A URI shape the decoder never anticipated must still come back
+        # as a decodable storage error, not a bare 400 (or a 500).
+        raise UnknownResourceError(
+            f"cannot resolve {req.method} {req.target!r} against the "
+            f"{service} endpoint") from exc
 
 
 # ---------------------------------------------------------------------------

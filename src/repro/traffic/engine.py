@@ -89,6 +89,12 @@ class LoadConfig:
     max_clients: int = 32
     #: Wall seconds per virtual second on wall-clock backends.
     time_scale: float = 0.01
+    #: Service backend only: cluster shape and the mid-run DN kill.
+    dn: int = 2
+    replicas: int = 1
+    kill_dn: Optional[int] = None
+    #: Virtual seconds into the run at which ``kill_dn`` crash-stops.
+    kill_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -100,9 +106,27 @@ class LoadConfig:
             raise ValueError("payload_bytes must be >= 0, preload >= 1")
         if self.max_clients < 1 or self.time_scale <= 0:
             raise ValueError("max_clients must be >= 1, time_scale > 0")
+        if self.dn < 1:
+            raise ValueError("dn must be >= 1")
+        if not 1 <= self.replicas <= self.dn:
+            raise ValueError(
+                f"replicas must be in [1, dn={self.dn}], "
+                f"got {self.replicas}")
+        if (self.kill_dn is None) != (self.kill_at is None):
+            raise ValueError("kill_dn and kill_at go together")
+        if self.kill_dn is not None:
+            if not 0 <= self.kill_dn < self.dn:
+                raise ValueError(
+                    f"kill_dn must name one of the {self.dn} data nodes")
+            if not 0 < self.kill_at < self.duration:
+                raise ValueError("kill_at must fall inside the run")
+        if ((self.replicas > 1 or self.kill_dn is not None)
+                and self.backend != "service"):
+            raise ValueError("replicas/kill_dn apply to the service "
+                             "backend only")
 
     def describe(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "arrivals": self.arrivals.describe(),
             "duration_s": self.duration,
             "window_s": self.window_s,
@@ -113,6 +137,15 @@ class LoadConfig:
             "preload": self.preload,
             "servers": self.servers,
         }
+        # Failure-domain knobs appear only when engaged, so default-run
+        # verdict JSON is unchanged.
+        if self.replicas > 1 or self.kill_dn is not None:
+            out["dn"] = self.dn
+            out["replicas"] = self.replicas
+        if self.kill_dn is not None:
+            out["kill_dn"] = self.kill_dn
+            out["kill_at_s"] = self.kill_at
+        return out
 
 
 @dataclass(frozen=True)
@@ -300,6 +333,9 @@ class LoadResult:
     #: Virtual seconds from first arrival to last completion.
     elapsed_s: float
     slo_report: Optional[SLOReport]
+    #: Measured failure-domain disruption (kill runs only): detection and
+    #: heal timings plus error accounting around the kill.
+    disruption: Optional[Dict[str, object]] = None
 
     @property
     def passed(self) -> bool:
@@ -317,6 +353,8 @@ class LoadResult:
         }
         if self.slo_report is not None:
             out["slo_report"] = self.slo_report.to_dict()
+        if self.disruption is not None:
+            out["disruption"] = dict(self.disruption)
         return out
 
     def to_json(self) -> str:
@@ -353,13 +391,14 @@ def run_load(config: LoadConfig) -> LoadResult:
     schedule = build_schedule(config)
     agg = StatsAggregator(config.window_s)
     backend = get_backend(config.backend)
+    disruption = None
     if isinstance(backend, SimBackend):  # includes GeoBackend
         outcomes, elapsed = _run_des(backend, config, schedule, agg)
     elif isinstance(backend, EmulatorBackend):
         outcomes, elapsed = _run_wallclock(
             config, schedule, agg, _emulator_client_factory(config))
     elif isinstance(backend, ServiceBackend):
-        outcomes, elapsed = _run_service(config, schedule, agg)
+        outcomes, elapsed, disruption = _run_service(config, schedule, agg)
     else:  # pragma: no cover - registry covers all names
         raise ValueError(f"backend {config.backend!r} cannot run "
                          f"open-loop load")
@@ -368,7 +407,8 @@ def run_load(config: LoadConfig) -> LoadResult:
     report = config.slo.check(rows) if config.slo is not None else None
     return LoadResult(config=config, rows=rows, aggregator=agg,
                       digest=schedule_digest(schedule, outcomes),
-                      elapsed_s=elapsed, slo_report=report)
+                      elapsed_s=elapsed, slo_report=report,
+                      disruption=disruption)
 
 
 def _run_des(backend, config: LoadConfig, schedule: List[ScheduledOp],
@@ -437,16 +477,33 @@ def _emulator_client_factory(config: LoadConfig) -> Callable[[], Dict]:
 
 def _run_service(config: LoadConfig, schedule: List[ScheduledOp],
                  agg: StatsAggregator):
-    """Boot an in-process SN/DN cluster and drive it over signed HTTP."""
+    """Boot an in-process SN/DN cluster and drive it over signed HTTP.
+
+    With ``kill_dn``/``kill_at`` set, one data node crash-stops mid-run
+    (the ``repro load`` failover scenario): replicated shards plus
+    health-checked membership must absorb the kill, and the returned
+    disruption report carries the measured SLO dip (errors around the
+    kill) and the detection/heal timings.
+    """
     from ..service import DEV_KEY, TenantConfig, TenantDirectory
     from ..service.client import (ServiceConnection, WireBlobClient,
                                   WireQueueClient, WireTableClient)
     from ..service.cluster import ClusterRunner, ServiceCluster
+    from ..service.membership import FailureDomainConfig
 
+    failure_domain = None
+    if config.replicas > 1 or config.kill_dn is not None:
+        failure_domain = FailureDomainConfig(
+            replicas=config.replicas, health_checks=True,
+            heartbeat_interval=0.1, suspect_after=1, dead_after=3,
+            heartbeat_timeout=0.5, retry_after=0.25, seed=config.seed)
     tenants = TenantDirectory([TenantConfig.development()])
-    cluster = ServiceCluster(nodes=1, dn=2, tenants=tenants)
+    cluster = ServiceCluster(nodes=1, dn=config.dn, tenants=tenants,
+                             failure_domain=failure_domain)
     runner = ClusterRunner(cluster)
     runner.start()
+    kill_wall: Dict[str, float] = {}
+    timer: Optional[threading.Timer] = None
     try:
         account = tenants.accounts()[0]
 
@@ -455,19 +512,63 @@ def _run_service(config: LoadConfig, schedule: List[ScheduledOp],
             return {"queue": WireQueueClient(conn),
                     "blob": WireBlobClient(conn),
                     "table": WireTableClient(conn)}
-        return _run_wallclock(config, schedule, agg, make)
+
+        def on_origin() -> None:
+            nonlocal timer
+            if config.kill_dn is None:
+                return
+
+            def fire() -> None:
+                kill_wall["t"] = time.monotonic()
+                runner.kill_data_node(config.kill_dn)
+
+            timer = threading.Timer(config.kill_at * config.time_scale,
+                                    fire)
+            timer.start()
+
+        outcomes, elapsed = _run_wallclock(config, schedule, agg, make,
+                                           on_origin=on_origin)
+        if timer is not None:
+            timer.join()
+        disruption = None
+        if config.kill_dn is not None:
+            detected = runner.wait_deaths_detected(1, timeout=30.0)
+            settled = runner.wait_settled(timeout=30.0)
+            membership = cluster.membership
+            recovery = membership.recovery_seconds()
+            heal_at = membership.last_heal_at
+            unavailable = None
+            if heal_at is not None and "t" in kill_wall:
+                unavailable = max(0.0, heal_at - kill_wall["t"])
+            disruption = {
+                "kill_dn": config.kill_dn,
+                "kill_at_s": config.kill_at,
+                "detected": detected,
+                "settled": settled,
+                "deaths": membership.counters["deaths"],
+                "shards_migrated": membership.counters["shards_migrated"],
+                "errors": sum(1 for ok in outcomes if ok is False),
+                "recovery_s": (round(recovery, 3)
+                               if recovery is not None else None),
+                "unavailable_s": (round(unavailable, 3)
+                                  if unavailable is not None else None),
+            }
+        return outcomes, elapsed, disruption
     finally:
         runner.stop()
 
 
 def _run_wallclock(config: LoadConfig, schedule: List[ScheduledOp],
-                   agg: StatsAggregator, make_clients: Callable[[], Dict]):
+                   agg: StatsAggregator, make_clients: Callable[[], Dict],
+                   on_origin: Optional[Callable[[], None]] = None):
     """Dispatcher + bounded client pool on wall-clock backends.
 
     Virtual time is wall time since the dispatch origin divided by
     ``time_scale``; arrivals are released at their scheduled virtual
     instants, so the offered rate stays open-loop even when every pool
     thread is busy (queueing shows up as latency, as it should).
+    ``on_origin`` (if given) runs right as the dispatch origin is pinned
+    — the hook the service backend uses to arm its DN-kill timer.
     """
     from concurrent.futures import ThreadPoolExecutor
 
@@ -478,6 +579,8 @@ def _run_wallclock(config: LoadConfig, schedule: List[ScheduledOp],
     lock = threading.Lock()
     last_end = {"t": 0.0}
     origin = time.monotonic()
+    if on_origin is not None:
+        on_origin()
 
     def virtual_now() -> float:
         return (time.monotonic() - origin) / config.time_scale
