@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "kernel_events_per_sec",
+    "flock_load_metrics",
     "sweep_wall_clock",
     "run_perf",
     "check_regression",
@@ -43,7 +44,9 @@ __all__ = [
     "write_bench",
 ]
 
-BENCH_SCHEMA_VERSION = 1
+#: Schema 2 adds the calendar-scheduler kernel figure
+#: (``kernel_calendar``) and the flock-mode scale figure (``flock``).
+BENCH_SCHEMA_VERSION = 2
 
 #: Default kernel microbenchmark shape: 100 concurrent sleepers x 2,000
 #: round trips each -> ~200k events per repetition.
@@ -59,19 +62,21 @@ def _ping(env, rounds: int):
 
 def kernel_events_per_sec(*, procs: int = KERNEL_PROCS,
                           rounds: int = KERNEL_ROUNDS,
-                          repeats: int = KERNEL_REPEATS) -> Dict[str, float]:
+                          repeats: int = KERNEL_REPEATS,
+                          scheduler: str = "heap") -> Dict[str, float]:
     """Events/sec through the DES kernel on the sleep-then-resume path.
 
     Best-of-``repeats`` is reported (the standard microbenchmark defence
     against scheduler noise — the *fastest* run is the least disturbed
-    measurement of the code itself).
+    measurement of the code itself).  ``scheduler`` selects the kernel
+    event queue under test (heap reference or calendar).
     """
     from ..simkit import Environment
 
     best = 0.0
     events = 0
     for _ in range(repeats):
-        env = Environment()
+        env = Environment(scheduler=scheduler)
         for i in range(procs):
             env.process(_ping(env, rounds), name=f"perf-ping-{i}")
         start = time.perf_counter()
@@ -84,8 +89,43 @@ def kernel_events_per_sec(*, procs: int = KERNEL_PROCS,
         "procs": procs,
         "rounds": rounds,
         "repeats": repeats,
+        "scheduler": scheduler,
         "events": events,
         "events_per_sec": round(best, 1),
+    }
+
+
+def flock_load_metrics(*, clients: int = 1_000_000,
+                       per_client_rate: float = 0.001,
+                       duration: float = 10.0,
+                       flock_size: int = 8192) -> Dict[str, object]:
+    """Flock-mode ops/sec + peak RSS: the million-client scale figure.
+
+    Runs one seeded open-loop ``repro load`` with the columnar flock
+    path on the calendar scheduler; the offered rate is
+    ``clients * per_client_rate`` ops/s.  Peak RSS is the process
+    high-water mark, so run this before anything memory-hungry when the
+    number matters.
+    """
+    from ..traffic import ArrivalSpec, LoadConfig, run_load
+
+    config = LoadConfig(
+        arrivals=ArrivalSpec(rate=per_client_rate),
+        duration=duration, mix="queue", clients=clients,
+        flock_size=flock_size, scheduler="calendar")
+    result = run_load(config)
+    res = result.resources or {}
+    ops = result.aggregator.total_completions
+    wall = res.get("wall_clock_s") or 0.0
+    return {
+        "clients": clients,
+        "per_client_rate": per_client_rate,
+        "duration_s": duration,
+        "flock_size": flock_size,
+        "ops": ops,
+        "ops_per_sec": round(ops / wall, 1) if wall > 0 else None,
+        "peak_rss_mb": res.get("peak_rss_mb"),
+        "kernel_events_per_sec": res.get("kernel_events_per_sec"),
     }
 
 
@@ -144,9 +184,21 @@ def run_perf(*, quick: bool = False, jobs: Optional[int] = None,
         jobs = default_jobs()
 
     log(f"kernel: {KERNEL_PROCS} procs x {KERNEL_ROUNDS} rounds, "
-        f"best of {KERNEL_REPEATS} ...")
+        f"best of {KERNEL_REPEATS}, heap vs calendar ...")
     kernel = kernel_events_per_sec()
-    log(f"kernel: {kernel['events_per_sec']:,.0f} events/sec")
+    log(f"kernel (heap): {kernel['events_per_sec']:,.0f} events/sec")
+    kernel_calendar = kernel_events_per_sec(scheduler="calendar")
+    log(f"kernel (calendar): "
+        f"{kernel_calendar['events_per_sec']:,.0f} events/sec")
+
+    if quick:
+        flock = flock_load_metrics(clients=100_000, per_client_rate=0.001,
+                                   duration=5.0, flock_size=2048)
+    else:
+        flock = flock_load_metrics()
+    log(f"flock: {flock['clients']:,} clients -> "
+        f"{flock['ops_per_sec']:,.0f} ops/sec at "
+        f"{flock['peak_rss_mb']} MB peak RSS")
 
     labels = ["fig6"] if quick else list(SWEEP_BUILDERS)
     log(f"sweep: {labels} at {QUICK_SCALE.name} scale, serial vs "
@@ -160,6 +212,8 @@ def run_perf(*, quick: bool = False, jobs: Optional[int] = None,
         "schema": BENCH_SCHEMA_VERSION,
         "host": _host(),
         "kernel": kernel,
+        "kernel_calendar": kernel_calendar,
+        "flock": flock,
         "sweeps": sweeps,
     }
     if baseline is not None:
@@ -168,6 +222,9 @@ def run_perf(*, quick: bool = False, jobs: Optional[int] = None,
                 baseline.get("kernel", {}).get("events_per_sec"),
             "host": baseline.get("host"),
         }
+        cal = baseline.get("kernel_calendar", {}).get("events_per_sec")
+        if cal:
+            doc["baseline"]["kernel_calendar_events_per_sec"] = cal
     return doc
 
 
@@ -196,17 +253,27 @@ def check_regression(current: dict, baseline: dict, *,
     """True when current kernel throughput is within ``tolerance`` of base.
 
     The gate is one-sided: faster is always fine, slower than
-    ``(1 - tolerance) * baseline`` fails.
+    ``(1 - tolerance) * baseline`` fails.  The heap kernel figure is
+    mandatory; the calendar figure is gated too whenever both documents
+    carry it (schema 2), so neither scheduler can silently regress.
     """
     base_rate = baseline.get("kernel", {}).get("events_per_sec")
     rate = current.get("kernel", {}).get("events_per_sec")
     if not base_rate or not rate:
         raise ValueError("both documents need kernel.events_per_sec")
-    floor = (1.0 - tolerance) * base_rate
-    ok = rate >= floor
-    verdict = "ok" if ok else "REGRESSION"
-    log(f"kernel events/sec: {rate:,.0f} vs baseline {base_rate:,.0f} "
-        f"(floor {floor:,.0f} at -{tolerance:.0%}): {verdict}")
+    gates = [("kernel (heap)", rate, base_rate)]
+    cal = current.get("kernel_calendar", {}).get("events_per_sec")
+    base_cal = baseline.get("kernel_calendar", {}).get("events_per_sec")
+    if cal and base_cal:
+        gates.append(("kernel (calendar)", cal, base_cal))
+    ok = True
+    for label, cur, base in gates:
+        floor = (1.0 - tolerance) * base
+        good = cur >= floor
+        ok = ok and good
+        verdict = "ok" if good else "REGRESSION"
+        log(f"{label} events/sec: {cur:,.0f} vs baseline {base:,.0f} "
+            f"(floor {floor:,.0f} at -{tolerance:.0%}): {verdict}")
     return ok
 
 

@@ -381,6 +381,18 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default 0.1)")
     load.add_argument("--max-probes", type=int, default=12,
                       help="knee-search probe budget (default 12)")
+    load.add_argument("--clients", type=int, default=1, metavar="N",
+                      help="simulated clients: multiplies the per-client "
+                           "arrival rate (default 1)")
+    load.add_argument("--flock-size", type=int, default=0, metavar="N",
+                      help="sim/geo backends: drive arrivals from a "
+                           "columnar schedule in chunks of N (0 = "
+                           "classic per-op path; default 0)")
+    load.add_argument("--scheduler", choices=["heap", "calendar"],
+                      default="heap",
+                      help="DES kernel event queue (default heap; "
+                           "calendar is the O(1)-amortized bucketed "
+                           "scheduler)")
 
     return parser
 
@@ -859,7 +871,8 @@ def _run_load(args) -> int:
             mix=args.mix, payload_bytes=args.payload, seed=args.seed,
             backend=args.backend, slo=slo, servers=args.servers,
             dn=args.dn, replicas=args.replicas, kill_dn=args.kill_dn,
-            kill_at=args.kill_at)
+            kill_at=args.kill_at, clients=args.clients,
+            flock_size=args.flock_size, scheduler=args.scheduler)
     except (OSError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2

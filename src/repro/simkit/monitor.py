@@ -7,23 +7,33 @@ aggregate them into the statistics the benchmark harness reports.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["TimeSeries", "Tally", "UtilizationMonitor"]
 
 
-@dataclass
 class TimeSeries:
-    """An append-only series of ``(time, value)`` samples."""
+    """An append-only series of ``(time, value)`` samples.
 
-    name: str = ""
-    times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
+    A plain ``__slots__`` class (not a dataclass): sweeps allocate one
+    per measured signal and samples arrive on the hot path.
+    """
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = "",
+                 times: Optional[List[float]] = None,
+                 values: Optional[List[float]] = None) -> None:
+        self.name = name
+        self.times: List[float] = [] if times is None else times
+        self.values: List[float] = [] if values is None else values
 
     def record(self, time: float, value: float) -> None:
         self.times.append(time)
         self.values.append(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeSeries(name={self.name!r}, n={len(self.times)})"
 
     def __len__(self) -> int:
         return len(self.times)
@@ -55,6 +65,8 @@ class Tally:
 
     Uses Welford's online algorithm, so it is stable for long runs.
     """
+
+    __slots__ = ("name", "_n", "_mean", "_m2", "_min", "_max", "_total")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -134,6 +146,8 @@ class Tally:
 
 class UtilizationMonitor:
     """Tracks busy time of a server-like entity between mark calls."""
+
+    __slots__ = ("env", "_busy_since", "_busy_total", "_created")
 
     def __init__(self, env) -> None:
         self.env = env

@@ -18,16 +18,14 @@ ProcessGenerator = Generator[Event, Any, Any]
 
 
 class _Initialize(Event):
-    """Immediate event that starts the execution of a process."""
+    """Immediate event that starts the execution of a process.
+
+    Built field-by-field by :class:`Process` (the kernel's per-process
+    fast path, mirroring ``Environment.timeout``), so it defines no
+    constructor of its own.
+    """
 
     __slots__ = ()
-
-    def __init__(self, env, process: "Process") -> None:
-        super().__init__(env)
-        self._ok = True
-        self._value = None
-        self.callbacks.append(process._resume)
-        env.schedule(self, priority=URGENT)
 
 
 class _Interruption(Event):
@@ -69,7 +67,7 @@ class Process(Event):
     that exception).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume", "_send")
 
     def __init__(self, env, generator: ProcessGenerator,
                  name: Optional[str] = None) -> None:
@@ -77,7 +75,20 @@ class Process(Event):
             raise ValueError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
-        self._target: Optional[Event] = _Initialize(env, self)
+        # Pre-bound hot-path callables: the resume callback is appended to
+        # an event's callback list on every suspension and ``send`` is
+        # called on every resumption, so binding them per use would
+        # allocate a method object per event.
+        resume = self._resume = self._do_resume
+        self._send = generator.send
+        init = _Initialize.__new__(_Initialize)
+        init.env = env
+        init.callbacks = [resume]
+        init._value = None
+        init._ok = True
+        init._defused = False
+        env.schedule(init, URGENT)
+        self._target: Optional[Event] = init
         self.name = name or getattr(generator, "__name__", "process")
 
     @property
@@ -94,8 +105,12 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         _Interruption(self, cause)
 
-    def _resume(self, event: Event) -> None:
-        """Advance the generator with the outcome of ``event``."""
+    def _do_resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``.
+
+        Reached through the pre-bound ``self._resume`` alias the
+        constructor installs (see there).
+        """
         env = self.env
         env._active_proc = self
         self._target = None
@@ -103,7 +118,7 @@ class Process(Event):
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = self._send(event._value)
                 else:
                     # The waited-on event failed: throw its exception into the
                     # generator.  Mark it defused: the process took delivery.
@@ -130,7 +145,11 @@ class Process(Event):
                 env.schedule(self)
                 break
 
-            if not isinstance(next_event, Event):
+            try:
+                # One attribute load doubles as the is-it-an-Event check:
+                # only events carry ``callbacks``.
+                callbacks = next_event.callbacks
+            except AttributeError:
                 gen = self._generator
                 self._generator.close()
                 self._ok = False
@@ -141,9 +160,9 @@ class Process(Event):
                 env.schedule(self)
                 break
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Event not yet processed: subscribe and suspend.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 break
 

@@ -74,6 +74,8 @@ class Release(Event):
 class Resource:
     """A semaphore with ``capacity`` slots and a FIFO wait queue."""
 
+    __slots__ = ("env", "_capacity", "users", "queue")
+
     request_cls = Request
 
     def __init__(self, env, capacity: int = 1) -> None:
@@ -148,6 +150,8 @@ class PriorityRequest(Request):
 class PriorityResource(Resource):
     """A :class:`Resource` whose wait queue is ordered by request priority."""
 
+    __slots__ = ("_tiebreak",)
+
     request_cls = PriorityRequest
 
     def __init__(self, env, capacity: int = 1) -> None:
@@ -202,6 +206,8 @@ class PreemptiveResource(PriorityResource):
     cause is a :class:`Preempted` record.
     """
 
+    __slots__ = ()
+
     request_cls = PreemptiveRequest
 
     def request(self, priority: int = 0, preempt: bool = True  # type: ignore[override]
@@ -251,6 +257,8 @@ class Container:
     ``put(x)`` blocks while the container would overflow; ``get(x)`` blocks
     while fewer than ``x`` units are available.
     """
+
+    __slots__ = ("env", "_capacity", "_level", "_put_waiters", "_get_waiters")
 
     def __init__(self, env, capacity: float = float("inf"),
                  init: float = 0.0) -> None:
@@ -325,6 +333,8 @@ class _StoreGet(Event):
 class Store:
     """A FIFO queue of Python objects with optional capacity bound."""
 
+    __slots__ = ("env", "_capacity", "items", "_put_waiters", "_get_waiters")
+
     def __init__(self, env, capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be > 0")
@@ -382,6 +392,8 @@ class Store:
 
 class FilterStore(Store):
     """A :class:`Store` whose gets may specify a predicate."""
+
+    __slots__ = ()
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> _StoreGet:  # type: ignore[override]
         return _StoreGet(self, filter)

@@ -31,6 +31,7 @@ from .engine import (
     run_load,
     schedule_digest,
 )
+from .flock import FlockSchedule, build_flock_schedule
 from .knee import KneeProbe, KneeResult, find_knee
 from .slo import SLOReport, SLOSpec, WindowViolation
 from .stats import WINDOW_CSV_HEADER, StatsAggregator, WindowRow
@@ -53,6 +54,8 @@ __all__ = [
     "build_schedule",
     "run_load",
     "schedule_digest",
+    "FlockSchedule",
+    "build_flock_schedule",
     "KneeProbe",
     "KneeResult",
     "find_knee",

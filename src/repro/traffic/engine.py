@@ -25,12 +25,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
+from ..simkit.environment import SCHEDULERS
 from ..storage import KB
 from ..storage.content import SyntheticContent
 from ..storage.errors import StorageError
@@ -95,6 +98,13 @@ class LoadConfig:
     kill_dn: Optional[int] = None
     #: Virtual seconds into the run at which ``kill_dn`` crash-stops.
     kill_at: Optional[float] = None
+    #: Simulated clients: multiplies the per-client arrival rate.
+    clients: int = 1
+    #: DES backends only: drive ops from a columnar schedule in chunks of
+    #: this many arrivals (0 = classic per-op schedule objects).
+    flock_size: int = 0
+    #: DES kernel event queue ("heap" or "calendar").
+    scheduler: str = "heap"
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -124,6 +134,21 @@ class LoadConfig:
                 and self.backend != "service"):
             raise ValueError("replicas/kill_dn apply to the service "
                              "backend only")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.clients > 1 and self.arrivals.process == "trace":
+            raise ValueError("clients scales the arrival rate, which "
+                             "trace replay ignores; pre-scale the trace "
+                             "instants instead")
+        if self.flock_size < 0:
+            raise ValueError("flock_size must be >= 0 (0 disables "
+                             "flock mode)")
+        if self.flock_size and self.backend not in ("sim", "geo"):
+            raise ValueError("flock mode applies to the DES backends "
+                             "(sim, geo) only")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {self.scheduler!r}; "
+                             f"choose from {', '.join(SCHEDULERS)}")
 
     def describe(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -145,7 +170,20 @@ class LoadConfig:
         if self.kill_dn is not None:
             out["kill_dn"] = self.kill_dn
             out["kill_at_s"] = self.kill_at
+        # Scale/kernel knobs likewise appear only when engaged.
+        if self.clients != 1:
+            out["clients"] = self.clients
+        if self.flock_size:
+            out["flock_size"] = self.flock_size
+        if self.scheduler != "heap":
+            out["scheduler"] = self.scheduler
         return out
+
+    def effective_arrivals(self) -> ArrivalSpec:
+        """The spec actually driven: per-client rate times ``clients``."""
+        if self.clients == 1:
+            return self.arrivals
+        return self.arrivals.with_rate(self.arrivals.rate * self.clients)
 
 
 @dataclass(frozen=True)
@@ -168,7 +206,7 @@ def build_schedule(config: LoadConfig) -> List[ScheduledOp]:
     arrival seed — so changing the mix does not perturb the instants and
     vice versa.
     """
-    instants = config.arrivals.build().times(config.duration)
+    instants = config.effective_arrivals().build().times(config.duration)
     rng = Random(f"{config.arrivals.seed}:{config.mix}:ops")
     mix = MIXES[config.mix]
     total = sum(w for w, _, _ in mix)
@@ -194,10 +232,14 @@ def build_schedule(config: LoadConfig) -> List[ScheduledOp]:
     return out
 
 
-def schedule_digest(schedule: Sequence[ScheduledOp],
-                    outcomes: Optional[Sequence[Optional[bool]]] = None
-                    ) -> str:
-    """SHA-256 over the issued operation sequence (and outcomes)."""
+def schedule_digest(schedule: Iterable[ScheduledOp],
+                    outcomes: Optional[Sequence] = None) -> str:
+    """SHA-256 over the issued operation sequence (and outcomes).
+
+    ``schedule`` may be any iterable of ops (flock mode streams them
+    from its columnar arrays); ``outcomes`` any indexable of
+    None/bool-convertible entries.
+    """
     h = hashlib.sha256()
     for s in schedule:
         ok = "-" if outcomes is None else str(int(bool(outcomes[s.index])))
@@ -336,6 +378,10 @@ class LoadResult:
     #: Measured failure-domain disruption (kill runs only): detection and
     #: heal timings plus error accounting around the kill.
     disruption: Optional[Dict[str, object]] = None
+    #: Measured execution cost (peak RSS, wall clock, kernel events/sec)
+    #: so scale claims are recorded, not anecdotal.  Host-dependent — the
+    #: one deliberately non-deterministic part of the verdict.
+    resources: Optional[Dict[str, object]] = None
 
     @property
     def passed(self) -> bool:
@@ -355,6 +401,8 @@ class LoadResult:
             out["slo_report"] = self.slo_report.to_dict()
         if self.disruption is not None:
             out["disruption"] = dict(self.disruption)
+        if self.resources is not None:
+            out["resources"] = dict(self.resources)
         return out
 
     def to_json(self) -> str:
@@ -388,27 +436,66 @@ def run_load(config: LoadConfig) -> LoadResult:
     from ..backend import (EmulatorBackend, ServiceBackend, SimBackend,
                            get_backend)
 
-    schedule = build_schedule(config)
     agg = StatsAggregator(config.window_s)
     backend = get_backend(config.backend)
     disruption = None
+    events: Optional[int] = None
+    wall_start = time.perf_counter()
     if isinstance(backend, SimBackend):  # includes GeoBackend
-        outcomes, elapsed = _run_des(backend, config, schedule, agg)
+        if config.flock_size:
+            from .flock import build_flock_schedule, run_flock_des
+            flock = build_flock_schedule(config)
+            outcomes, elapsed, events = run_flock_des(
+                backend, config, flock, agg)
+            digest = schedule_digest(flock.iter_ops(), outcomes)
+        else:
+            schedule = build_schedule(config)
+            outcomes, elapsed, events = _run_des(
+                backend, config, schedule, agg)
+            digest = schedule_digest(schedule, outcomes)
     elif isinstance(backend, EmulatorBackend):
+        schedule = build_schedule(config)
         outcomes, elapsed = _run_wallclock(
             config, schedule, agg, _emulator_client_factory(config))
+        digest = schedule_digest(schedule, outcomes)
     elif isinstance(backend, ServiceBackend):
+        schedule = build_schedule(config)
         outcomes, elapsed, disruption = _run_service(config, schedule, agg)
+        digest = schedule_digest(schedule, outcomes)
     else:  # pragma: no cover - registry covers all names
         raise ValueError(f"backend {config.backend!r} cannot run "
                          f"open-loop load")
+    wall = time.perf_counter() - wall_start
     horizon = max(config.duration, elapsed)
     rows = agg.rows(duration=horizon, servers=config.servers)
     report = config.slo.check(rows) if config.slo is not None else None
     return LoadResult(config=config, rows=rows, aggregator=agg,
-                      digest=schedule_digest(schedule, outcomes),
+                      digest=digest,
                       elapsed_s=elapsed, slo_report=report,
-                      disruption=disruption)
+                      disruption=disruption,
+                      resources=_resource_usage(wall, events))
+
+
+def _resource_usage(wall_s: float,
+                    events: Optional[int]) -> Dict[str, object]:
+    """Measured execution-cost facts for the verdict's resources block."""
+    try:
+        import resource as res
+        peak = res.getrusage(res.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KB on Linux, bytes on macOS.
+        divisor = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+        peak_rss_mb: Optional[float] = round(peak / divisor, 3)
+    except ImportError:  # pragma: no cover - non-POSIX
+        peak_rss_mb = None
+    out: Dict[str, object] = {
+        "wall_clock_s": round(wall_s, 6),
+        "peak_rss_mb": peak_rss_mb,
+    }
+    if events is not None:
+        out["kernel_events"] = events
+        out["kernel_events_per_sec"] = (
+            round(events / wall_s, 1) if wall_s > 0 else None)
+    return out
 
 
 def _run_des(backend, config: LoadConfig, schedule: List[ScheduledOp],
@@ -417,7 +504,7 @@ def _run_des(backend, config: LoadConfig, schedule: List[ScheduledOp],
     from ..core.runner import RunConfig
     from ..simkit import Environment
 
-    env = Environment()
+    env = Environment(scheduler=config.scheduler)
     account = backend._make_account(
         env, RunConfig(seed=config.seed, label="load"))
     clients = {"queue": account.queue_client(),
@@ -460,7 +547,7 @@ def _run_des(backend, config: LoadConfig, schedule: List[ScheduledOp],
     if schedule:
         env.process(injector(), name="load-injector")
         env.run(until=done)
-    return outcomes, last_end["t"]
+    return outcomes, last_end["t"], env.events_processed
 
 
 def _emulator_client_factory(config: LoadConfig) -> Callable[[], Dict]:

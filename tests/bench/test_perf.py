@@ -8,8 +8,9 @@ from repro.bench import perf
 from repro.bench.figures import MINI_SCALE
 
 
-def tiny_kernel():
-    return perf.kernel_events_per_sec(procs=4, rounds=25, repeats=2)
+def tiny_kernel(**kwargs):
+    return perf.kernel_events_per_sec(procs=4, rounds=25, repeats=2,
+                                      **kwargs)
 
 
 class TestKernelBench:
@@ -17,11 +18,27 @@ class TestKernelBench:
         sample = tiny_kernel()
         assert sample["events_per_sec"] > 0
         assert sample["procs"] == 4 and sample["rounds"] == 25
+        assert sample["scheduler"] == "heap"
         # 4 sleepers x 25 rounds, plus process-start events.
         assert sample["events"] >= 4 * 25
 
     def test_deterministic_event_count(self):
         assert tiny_kernel()["events"] == tiny_kernel()["events"]
+
+    def test_calendar_scheduler_same_event_count(self):
+        cal = tiny_kernel(scheduler="calendar")
+        assert cal["scheduler"] == "calendar"
+        assert cal["events"] == tiny_kernel()["events"]
+
+
+class TestFlockMetrics:
+    def test_small_flock_figure(self):
+        sample = perf.flock_load_metrics(clients=50, per_client_rate=0.2,
+                                         duration=3.0, flock_size=16)
+        assert sample["clients"] == 50
+        assert sample["ops"] > 0
+        assert sample["ops_per_sec"] > 0
+        assert sample["peak_rss_mb"] is None or sample["peak_rss_mb"] > 0
 
 
 class TestSweepWallClock:
@@ -52,10 +69,23 @@ class TestBenchDocument:
                      / "benchmarks" / "perf" / "BENCH_core.json")
         doc = perf.load_bench(str(committed))
         rate = doc["kernel"]["events_per_sec"]
+        cal = doc["kernel_calendar"]["events_per_sec"]
         base = doc["baseline"]["kernel_events_per_sec"]
-        assert rate >= 1.25 * base, (
-            f"committed kernel rate {rate:,.0f} is not >=25% over the "
-            f"pre-PR baseline {base:,.0f}")
+        assert cal >= 2.0 * base, (
+            f"committed calendar rate {cal:,.0f} is not >=2x the "
+            f"pre-PR heap baseline {base:,.0f}")
+        assert rate >= 0.7 * base, (
+            f"committed heap rate {rate:,.0f} regressed below the "
+            f"30% floor of the pre-PR baseline {base:,.0f}")
+
+    def test_committed_flock_figure_bounded_rss(self):
+        committed = (Path(__file__).resolve().parents[2]
+                     / "benchmarks" / "perf" / "BENCH_core.json")
+        doc = perf.load_bench(str(committed))
+        flock = doc["flock"]
+        assert flock["clients"] >= 1_000_000
+        assert flock["peak_rss_mb"] < 4096, (
+            f"1M-client flock run peaked at {flock['peak_rss_mb']} MB")
 
 
 class TestRegressionGate:
@@ -85,6 +115,20 @@ class TestRegressionGate:
         with pytest.raises(ValueError):
             perf.check_regression({}, self.BASE, log=self.quiet)
 
+    def test_calendar_gate_applies_when_both_carry_it(self):
+        base = {"kernel": {"events_per_sec": 1000.0},
+                "kernel_calendar": {"events_per_sec": 2000.0}}
+        current = {"kernel": {"events_per_sec": 1000.0},
+                   "kernel_calendar": {"events_per_sec": 1000.0}}
+        assert not perf.check_regression(current, base, log=self.quiet)
+        current["kernel_calendar"]["events_per_sec"] = 1900.0
+        assert perf.check_regression(current, base, log=self.quiet)
+
+    def test_calendar_gate_skipped_for_schema1_baseline(self):
+        current = {"kernel": {"events_per_sec": 1000.0},
+                   "kernel_calendar": {"events_per_sec": 1.0}}
+        assert perf.check_regression(current, self.BASE, log=self.quiet)
+
 
 class TestRunPerf:
     def test_quick_document_shape(self, monkeypatch):
@@ -93,7 +137,12 @@ class TestRunPerf:
         real_kernel = perf.kernel_events_per_sec
         monkeypatch.setattr(
             perf, "kernel_events_per_sec",
-            lambda: real_kernel(procs=4, rounds=25, repeats=1))
+            lambda **kw: real_kernel(procs=4, rounds=25, repeats=1, **kw))
+        real_flock = perf.flock_load_metrics
+        monkeypatch.setattr(
+            perf, "flock_load_metrics",
+            lambda **kw: real_flock(clients=20, per_client_rate=0.5,
+                                    duration=2.0, flock_size=8))
         import repro.bench.figures as figures
         monkeypatch.setattr(figures, "QUICK_SCALE", MINI_SCALE)
         lines = []
@@ -103,6 +152,10 @@ class TestRunPerf:
                             log=lines.append)
         assert doc["schema"] == perf.BENCH_SCHEMA_VERSION
         assert doc["kernel"]["events_per_sec"] > 0
+        assert doc["kernel"]["scheduler"] == "heap"
+        assert doc["kernel_calendar"]["scheduler"] == "calendar"
+        assert doc["kernel_calendar"]["events_per_sec"] > 0
+        assert doc["flock"]["ops"] > 0
         assert doc["sweeps"]["labels"] == ["fig6"]
         assert doc["baseline"]["kernel_events_per_sec"] == 1.0
         assert doc["host"]["cpus"] >= 1

@@ -1,0 +1,174 @@
+"""Heap vs calendar scheduler equivalence (property-based).
+
+The calendar queue is only a valid drop-in for the binary heap if every
+observable — event pop order, clock values, events_processed, error
+messages — is identical.  These tests drive both schedulers through the
+same randomized programs (timeouts, schedule-at-now ties, resource
+cancellations, interrupts) and assert the traces match exactly.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit import (
+    EmptySchedule,
+    Environment,
+    Interrupt,
+    Process,
+    Resource,
+    Timeout,
+)
+
+SCHEDULERS = ("heap", "calendar")
+
+#: Deliberate repeats so many events collide on the same instant — the
+#: regime where a bucketed calendar queue could plausibly reorder.
+DELAYS = (0.0, 0.0, 0.25, 0.5, 1.0, 1.0, 2.5)
+
+
+def _label(event):
+    """A scheduler-independent identity for a traced event."""
+    if isinstance(event, Process):
+        return ("proc", event.name)
+    if isinstance(event, Timeout):
+        return ("timeout", event._value)
+    value = getattr(event, "_value", None)
+    if isinstance(value, Interrupt):
+        return ("interrupt", value.cause)
+    if isinstance(value, (int, float, str, tuple, type(None))):
+        return (type(event).__name__, value)
+    return (type(event).__name__, None)
+
+
+def _run_program(scheduler, program, interrupt_mask):
+    """Run one randomized program; return its full observable trace.
+
+    Each client walks its steps: optionally fire an event at *now*
+    (schedule-at-now tie), optionally request-then-release a contended
+    resource (exercises grant and cancel paths), then sleep.  The
+    interrupter throws :class:`Interrupt` into masked clients mid-run.
+    """
+    env = Environment(scheduler=scheduler)
+    res = Resource(env, capacity=1)
+    trace = []
+    env.tracer = lambda t, ev: trace.append((t, _label(ev)))
+
+    def client(cid, steps):
+        try:
+            for sid, (delay, fire_now, touch_res) in enumerate(steps):
+                if fire_now:
+                    ev = env.event()
+                    ev.succeed(("now", cid, sid))
+                if touch_res:
+                    req = res.request()
+                    res.release(req)
+                yield env.timeout(delay, value=(cid, sid))
+        except Interrupt:
+            pass
+
+    procs = [env.process(client(cid, steps), name=f"client-{cid}")
+             for cid, steps in enumerate(program)]
+
+    def interrupter():
+        for cid, proc in enumerate(procs):
+            if interrupt_mask & (1 << cid):
+                yield env.timeout(0.5)
+                if proc.is_alive:
+                    proc.interrupt(("stop", cid))
+
+    env.process(interrupter(), name="interrupter")
+    env.run()
+    return trace, env.now, env.events_processed
+
+
+_STEP = st.tuples(st.sampled_from(DELAYS), st.booleans(), st.booleans())
+_PROGRAM = st.lists(st.lists(_STEP, min_size=1, max_size=6),
+                    min_size=1, max_size=6)
+
+
+class TestPopOrderEquivalence:
+    @given(program=_PROGRAM, interrupt_mask=st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_traces_identical(self, program, interrupt_mask):
+        heap = _run_program("heap", program, interrupt_mask)
+        calendar = _run_program("calendar", program, interrupt_mask)
+        assert heap == calendar
+
+    @given(delays=st.lists(st.sampled_from(DELAYS), min_size=1,
+                           max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_step_and_peek_parity(self, delays):
+        out = {}
+        for scheduler in SCHEDULERS:
+            env = Environment(scheduler=scheduler)
+            for i, delay in enumerate(delays):
+                env.timeout(delay, value=i)
+            seq = []
+            while env.peek() != float("inf"):
+                horizon = env.peek()
+                env.step()
+                seq.append((horizon, env.now))
+            with pytest.raises(EmptySchedule):
+                env.step()
+            out[scheduler] = (seq, env.now, env.events_processed)
+        assert out["heap"] == out["calendar"]
+
+    @given(until=st.sampled_from((0.0, 0.5, 1.0, 1.75, 3.0)),
+           delays=st.lists(st.sampled_from(DELAYS), min_size=1,
+                           max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_run_until_time_parity(self, until, delays):
+        out = {}
+        for scheduler in SCHEDULERS:
+            env = Environment(scheduler=scheduler)
+            trace = []
+            env.tracer = lambda t, ev: trace.append((t, _label(ev)))
+            for i, delay in enumerate(delays):
+                env.timeout(delay, value=i)
+            env.run(until=until)
+            out[scheduler] = (trace, env.now, env.events_processed)
+        assert out["heap"] == out["calendar"]
+        assert out["heap"][1] == until
+
+
+class TestErrorParity:
+    def _messages(self, trigger):
+        """The ``ValueError`` str each scheduler raises for ``trigger``.
+
+        Object reprs embed memory addresses, which differ run to run, so
+        they are normalized out before the parity comparison.
+        """
+        messages = {}
+        for scheduler in SCHEDULERS:
+            env = Environment(scheduler=scheduler)
+            env.timeout(1.0)
+            env.run()
+            with pytest.raises(ValueError) as excinfo:
+                trigger(env)
+            messages[scheduler] = re.sub(r"0x[0-9a-f]+", "0xADDR",
+                                         str(excinfo.value))
+        return messages
+
+    def test_rewind_schedule_message_parity(self):
+        messages = self._messages(
+            lambda env: env.schedule(env.event(), delay=-0.5))
+        assert messages["heap"] == messages["calendar"]
+        assert "before now" in messages["heap"]
+
+    def test_negative_timeout_message_parity(self):
+        messages = self._messages(lambda env: env.timeout(-1.0))
+        assert messages["heap"] == messages["calendar"]
+
+    def test_run_until_past_message_parity(self):
+        messages = self._messages(lambda env: env.run(until=0.25))
+        assert messages["heap"] == messages["calendar"]
+
+    def test_calendar_rejects_exotic_priorities(self):
+        heap_env = Environment(scheduler="heap")
+        heap_env.schedule(heap_env.event(), priority=5)  # heap: anything
+        cal_env = Environment(scheduler="calendar")
+        with pytest.raises(ValueError, match="priority"):
+            cal_env.schedule(cal_env.event(), priority=5)

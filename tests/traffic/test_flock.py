@@ -1,0 +1,178 @@
+"""Flock-mode equivalence and the 100k-client memory smoke.
+
+Flock mode is a *representation* change only: the columnar schedule must
+match :func:`build_schedule` element for element, and a flock run must
+produce the byte-identical digest (and equal aggregator state) of a
+classic per-process run with the same seed.  The subprocess smoke pins
+the point of the whole exercise: a 100k-client open-loop load fits in a
+small, bounded RSS.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.traffic import (
+    ArrivalSpec,
+    LoadConfig,
+    build_flock_schedule,
+    build_schedule,
+    run_load,
+    schedule_digest,
+)
+
+SPEC = ArrivalSpec(process="poisson", rate=25.0, seed=11)
+
+
+def config(**overrides) -> LoadConfig:
+    base = dict(arrivals=SPEC, duration=6.0, window_s=2.0, mix="mixed",
+                payload_bytes=512, seed=31, preload=4)
+    base.update(overrides)
+    return LoadConfig(**base)
+
+
+# -- columnar schedule parity ------------------------------------------------
+
+class TestScheduleParity:
+    def test_flock_schedule_matches_classic_element_for_element(self):
+        cfg = config()
+        classic = build_schedule(cfg)
+        flock = build_flock_schedule(cfg)
+        assert len(flock) == len(classic)
+        assert list(flock.iter_ops()) == classic
+        assert schedule_digest(flock.iter_ops()) == schedule_digest(classic)
+
+    def test_parity_holds_for_every_mix(self):
+        from repro.traffic import MIXES
+        for mix in MIXES:
+            cfg = config(mix=mix, duration=3.0)
+            assert list(build_flock_schedule(cfg).iter_ops()) \
+                == build_schedule(cfg)
+
+    def test_clients_multiply_the_offered_rate(self):
+        doubled = config(clients=2)
+        pre_scaled = config(
+            arrivals=dataclasses.replace(SPEC, rate=SPEC.rate * 2))
+        assert build_schedule(doubled) == build_schedule(pre_scaled)
+
+
+# -- run equivalence ---------------------------------------------------------
+
+class TestRunEquivalence:
+    def test_flock_run_matches_classic_run(self):
+        classic = run_load(config())
+        flock = run_load(config(flock_size=64))
+        assert flock.digest == classic.digest
+        assert flock.aggregator == classic.aggregator
+        assert ([r.to_dict() for r in flock.rows]
+                == [r.to_dict() for r in classic.rows])
+
+    def test_calendar_flock_matches_heap_flock(self):
+        heap = run_load(config(flock_size=64))
+        calendar = run_load(config(flock_size=64, scheduler="calendar"))
+        assert calendar.digest == heap.digest
+        assert calendar.aggregator == heap.aggregator
+
+    def test_tiny_flock_size_still_matches(self):
+        """Chunk boundaries are invisible: chunk=1 flushes per op."""
+        classic = run_load(config(duration=2.0))
+        flock = run_load(config(duration=2.0, flock_size=1))
+        assert flock.digest == classic.digest
+        assert flock.aggregator == classic.aggregator
+
+    def test_verdict_carries_resources_block(self):
+        verdict = run_load(config(flock_size=64)).verdict()
+        resources = verdict["resources"]
+        assert resources["wall_clock_s"] > 0
+        assert resources["kernel_events"] > 0
+        assert resources["kernel_events_per_sec"] > 0
+        assert verdict["config"]["flock_size"] == 64
+
+
+# -- config validation -------------------------------------------------------
+
+class TestConfigValidation:
+    def test_clients_must_be_positive(self):
+        with pytest.raises(ValueError, match="clients"):
+            config(clients=0)
+
+    def test_clients_reject_trace_replay(self):
+        trace_spec = ArrivalSpec(process="trace",
+                                 trace=(0.5, 1.0, 1.5), seed=1)
+        with pytest.raises(ValueError, match="trace"):
+            config(arrivals=trace_spec, clients=2)
+
+    def test_flock_size_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="flock_size"):
+            config(flock_size=-1)
+
+    def test_flock_mode_is_des_only(self):
+        with pytest.raises(ValueError, match="flock"):
+            config(backend="emulator", flock_size=64)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            config(scheduler="wheel")
+
+    def test_describe_emits_scale_knobs_only_when_engaged(self):
+        plain = config().describe()
+        assert "clients" not in plain
+        assert "flock_size" not in plain
+        assert "scheduler" not in plain
+        tuned = config(clients=3, flock_size=64,
+                       scheduler="calendar").describe()
+        assert tuned["clients"] == 3
+        assert tuned["flock_size"] == 64
+        assert tuned["scheduler"] == "calendar"
+
+
+# -- the scale smoke ---------------------------------------------------------
+
+_SMOKE = """
+import json
+import resource
+import sys
+
+from repro.traffic import ArrivalSpec, LoadConfig, run_load
+
+config = LoadConfig(
+    arrivals=ArrivalSpec(process="poisson", rate=0.001, seed=5),
+    duration=5.0, mix="queue", clients=100_000, flock_size=2048,
+    scheduler="calendar")
+result = run_load(config)
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform == "darwin":
+    peak_kb /= 1024
+json.dump({"ops": result.aggregator.total_completions,
+           "clients": config.clients,
+           "peak_rss_mb": peak_kb / 1024,
+           "resources": result.resources}, sys.stdout)
+"""
+
+
+@pytest.mark.slow
+def test_100k_client_flock_load_fits_in_bounded_rss():
+    """100k clients in a fresh interpreter stay under a 1 GB ceiling.
+
+    A subprocess keeps the child's ``ru_maxrss`` high-water mark clean
+    of whatever the pytest session has already allocated.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p)
+    proc = subprocess.run([sys.executable, "-c", _SMOKE],
+                          capture_output=True, text=True, env=env,
+                          cwd=os.path.dirname(os.path.dirname(
+                              os.path.dirname(os.path.abspath(__file__)))),
+                          timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    out = json.loads(proc.stdout)
+    assert out["clients"] == 100_000
+    assert out["ops"] > 0
+    assert out["peak_rss_mb"] < 1024, (
+        f"100k-client flock run peaked at {out['peak_rss_mb']:.0f} MB")
+    assert out["resources"]["kernel_events"] > 0
